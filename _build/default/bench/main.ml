@@ -1,0 +1,134 @@
+(* The evaluation harness: regenerates every table/figure of the paper's §4
+   plus this reproduction's extension experiments, then times the core
+   operations with Bechamel.
+
+   Scale: figures use the paper's scenario counts (100 per data point) by
+   default; set SMRP_BENCH_SCENARIOS to scale down for a quick pass. *)
+
+module Figures = Smrp_experiments.Figures
+module Latency = Smrp_experiments.Latency
+module Ablation = Smrp_experiments.Ablation
+module Scenario = Smrp_experiments.Scenario
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Dijkstra = Smrp_graph.Dijkstra
+module Waxman = Smrp_topology.Waxman
+module Tree = Smrp_core.Tree
+module Spf = Smrp_core.Spf
+module Smrp = Smrp_core.Smrp
+module Reshape = Smrp_core.Reshape
+module Failure = Smrp_core.Failure
+module Recovery = Smrp_core.Recovery
+
+let scenarios =
+  match Sys.getenv_opt "SMRP_BENCH_SCENARIOS" with
+  | Some v -> (try max 2 (int_of_string v) with Failure _ -> 100)
+  | None -> 100
+
+let section title = Printf.printf "\n=== %s ===\n\n%!" title
+
+let figures () =
+  section "Figure 7 (local vs global detour, 4.3.1)";
+  print_string (Figures.Fig7.render (Figures.Fig7.run ()));
+  section "Figure 8 (effect of D_thresh, 4.3.2)";
+  print_string (Figures.Fig8.render (Figures.Fig8.run ~scenarios ()));
+  section "Figure 9 (effect of alpha / node degree, 4.3.3)";
+  print_string (Figures.Fig9.render (Figures.Fig9.run ~scenarios ()));
+  section "Figure 10 (effect of group size, 4.3.4)";
+  print_string (Figures.Fig10.render (Figures.Fig10.run ~scenarios ()))
+
+let extensions () =
+  section "Restoration latency (packet-level; the paper's 1 motivation, [25])";
+  print_string (Latency.render (Latency.run_many ~runs:10 Latency.default));
+  section "Ablation: tree reshaping (3.2.3)";
+  print_string (Ablation.Reshaping.render (Ablation.Reshaping.run ~scenarios:(max 10 (scenarios / 2)) ()));
+  section "Ablation: query scheme (3.3.1)";
+  print_string (Ablation.Query.render (Ablation.Query.run ~scenarios:(max 10 (scenarios / 2)) ()));
+  section "Ablation: hierarchical recovery (3.3.3)";
+  print_string (Ablation.Hierarchical.render (Ablation.Hierarchical.run ~scenarios:(max 5 (scenarios / 5)) ()));
+  section "Cost-minimising baseline (4.2 conjecture, Wei & Estrin [13])";
+  print_string
+    (Smrp_experiments.Cost_min.render (Smrp_experiments.Cost_min.run ~scenarios:(max 10 (scenarios / 2)) ()));
+  section "Protocol overhead (3.3.2)";
+  print_string (Smrp_experiments.Overhead.render (Smrp_experiments.Overhead.run ()));
+  section "Topology families (Zegura et al. [7])";
+  print_string
+    (Smrp_experiments.Families.render
+       (Smrp_experiments.Families.run ~scenarios:(max 10 (scenarios / 2)) ()));
+  section "Related work: redundant trees (Medard et al. [16], 2)";
+  let feas = Smrp_experiments.Related_work.feasibility ~samples:scenarios () in
+  let cmp = Smrp_experiments.Related_work.compare_schemes ~scenarios:(max 10 (scenarios / 2)) () in
+  print_string (Smrp_experiments.Related_work.render feas cmp)
+
+(* -- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  section "Microbenchmarks (Bechamel, monotonic clock)";
+  (* A fixed reference scenario shared by the pure-computation benches. *)
+  let s = Scenario.run Scenario.default in
+  let graph = s.Scenario.graph in
+  let source = s.Scenario.source in
+  let members = s.Scenario.members in
+  let victim = List.hd members in
+  let worst = Option.get (Failure.worst_case_for_member s.Scenario.smrp_tree victim) in
+  let tests =
+    [
+      Test.make ~name:"waxman_generate_n100"
+        (Staged.stage (fun () ->
+             let rng = Rng.create 99 in
+             ignore (Waxman.generate rng ~n:100 ~alpha:0.2 ~beta:0.2)));
+      Test.make ~name:"dijkstra_n100"
+        (Staged.stage (fun () -> ignore (Dijkstra.run graph ~source)));
+      Test.make ~name:"spf_build_30_members"
+        (Staged.stage (fun () -> ignore (Spf.build graph ~source ~members)));
+      Test.make ~name:"smrp_build_30_members"
+        (Staged.stage (fun () -> ignore (Smrp.build ~d_thresh:0.3 graph ~source ~members)));
+      Test.make ~name:"smrp_candidates"
+        (Staged.stage (fun () ->
+             ignore (Smrp.candidates s.Scenario.smrp_tree ~joiner:victim)));
+      Test.make ~name:"local_detour"
+        (Staged.stage (fun () ->
+             ignore (Recovery.local_detour s.Scenario.smrp_tree worst ~member:victim)));
+      Test.make ~name:"global_detour"
+        (Staged.stage (fun () ->
+             ignore (Recovery.global_detour s.Scenario.smrp_tree worst ~member:victim)));
+      Test.make ~name:"reshape_stabilize"
+        (Staged.stage (fun () ->
+             let t = Smrp.build ~d_thresh:0.3 graph ~source ~members in
+             ignore (Reshape.stabilize ~d_thresh:0.3 t)));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results =
+    List.map
+      (fun test ->
+        let tbl = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+        Analyze.all ols instance tbl)
+      tests
+  in
+  let rows = ref [] in
+  List.iter
+    (Hashtbl.iter (fun name o ->
+         match Analyze.OLS.estimates o with
+         | Some (ns :: _) -> rows := (name, ns) :: !rows
+         | _ -> ()))
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let name =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+        | None -> name
+      in
+      Printf.printf "%-28s %12.1f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
+    (List.sort compare !rows)
+
+let () =
+  Printf.printf "SMRP reproduction benchmark harness (scenarios per point: %d)\n" scenarios;
+  figures ();
+  extensions ();
+  micro ();
+  print_newline ()

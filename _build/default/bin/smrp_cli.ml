@@ -1,0 +1,177 @@
+(* smrp: command-line driver for the SMRP reproduction.
+
+   Subcommands regenerate the paper's figures at configurable scale and run
+   one-off scenarios for exploration. *)
+
+open Cmdliner
+module Figures = Smrp_experiments.Figures
+module Scenario = Smrp_experiments.Scenario
+module Latency = Smrp_experiments.Latency
+module Ablation = Smrp_experiments.Ablation
+module Related_work = Smrp_experiments.Related_work
+module Dot = Smrp_core.Dot
+
+let seed_arg default =
+  Arg.(value & opt int default & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let scenarios_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "scenarios" ] ~docv:"N" ~doc:"Scenarios per data point (paper: 100).")
+
+let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit machine-readable CSV instead of a table.")
+
+let fig7_cmd =
+  let run seed topologies csv =
+    let r = Figures.Fig7.run ~seed ~topologies () in
+    print_string (if csv then Figures.Fig7.csv r else Figures.Fig7.render r)
+  in
+  let topologies =
+    Arg.(value & opt int 5 & info [ "topologies" ] ~docv:"N" ~doc:"Random topologies (paper: 5).")
+  in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"Local vs global detour scatter (§4.3.1).")
+    Term.(const run $ seed_arg 7 $ topologies $ csv_arg)
+
+let fig8_cmd =
+  let run seed scenarios csv =
+    let rows = Figures.Fig8.run ~seed ~scenarios () in
+    print_string (if csv then Figures.Fig8.csv rows else Figures.Fig8.render rows)
+  in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Effect of D_thresh (§4.3.2).")
+    Term.(const run $ seed_arg 8 $ scenarios_arg $ csv_arg)
+
+let fig9_cmd =
+  let run seed scenarios degree10 csv =
+    let rows = Figures.Fig9.run ~seed ~scenarios ~degree_ten_row:degree10 () in
+    print_string (if csv then Figures.Fig9.csv rows else Figures.Fig9.render rows)
+  in
+  let degree10 =
+    Arg.(value & flag & info [ "degree-ten" ] ~doc:"Include the §4.3.3 degree-10 row (slower).")
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Effect of alpha / node degree (§4.3.3).")
+    Term.(const run $ seed_arg 9 $ scenarios_arg $ degree10 $ csv_arg)
+
+let fig10_cmd =
+  let run seed scenarios csv =
+    let rows = Figures.Fig10.run ~seed ~scenarios () in
+    print_string (if csv then Figures.Fig10.csv rows else Figures.Fig10.render rows)
+  in
+  Cmd.v
+    (Cmd.info "fig10" ~doc:"Effect of group size (§4.3.4).")
+    Term.(const run $ seed_arg 10 $ scenarios_arg $ csv_arg)
+
+let all_cmd =
+  let run seed scenarios =
+    print_string (Figures.Fig7.render (Figures.Fig7.run ~seed ()));
+    print_newline ();
+    print_string (Figures.Fig8.render (Figures.Fig8.run ~seed ~scenarios ()));
+    print_newline ();
+    print_string (Figures.Fig9.render (Figures.Fig9.run ~seed ~scenarios ()));
+    print_newline ();
+    print_string (Figures.Fig10.render (Figures.Fig10.run ~seed ~scenarios ()))
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure.")
+    Term.(const run $ seed_arg 42 $ scenarios_arg)
+
+let scenario_cmd =
+  let run seed n group alpha d_thresh =
+    let config =
+      { Scenario.default with Scenario.seed; n; group_size = group; alpha; d_thresh }
+    in
+    let s = Scenario.run config in
+    let a = Scenario.aggregates s in
+    Printf.printf
+      "scenario seed=%d: N=%d N_G=%d alpha=%.2f D_thresh=%.2f\n\
+       average degree        %.2f\n\
+       tree cost             SPF %.3f   SMRP %.3f  (%+.1f%%)\n\
+       RD reduction (local)  %.1f%%\n\
+       delay penalty         %.1f%%\n\
+       local vs global       %.1f%%\n"
+      seed n group alpha d_thresh s.Scenario.average_degree s.Scenario.cost_spf
+      s.Scenario.cost_smrp
+      (100.0 *. a.Scenario.cost_relative)
+      (100.0 *. a.Scenario.rd_relative)
+      (100.0 *. a.Scenario.delay_relative)
+      (100.0 *. a.Scenario.local_vs_global)
+  in
+  let n = Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Network size.") in
+  let group = Arg.(value & opt int 30 & info [ "group" ] ~docv:"N_G" ~doc:"Group size.") in
+  let alpha = Arg.(value & opt float 0.2 & info [ "alpha" ] ~docv:"A" ~doc:"Waxman alpha.") in
+  let d_thresh =
+    Arg.(value & opt float 0.3 & info [ "d-thresh" ] ~docv:"D" ~doc:"SMRP delay bound.")
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run and summarise one scenario.")
+    Term.(const run $ seed_arg 1 $ n $ group $ alpha $ d_thresh)
+
+let latency_cmd =
+  let run seed runs =
+    print_string (Latency.render (Latency.run_many ~seed ~runs Latency.default))
+  in
+  let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Topologies to simulate.") in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Packet-level restoration latency, SMRP vs PIM/OSPF.")
+    Term.(const run $ seed_arg 25 $ runs)
+
+let ablations_cmd =
+  let run seed scenarios =
+    print_string (Ablation.Reshaping.render (Ablation.Reshaping.run ~seed ~scenarios ()));
+    print_newline ();
+    print_string (Ablation.Query.render (Ablation.Query.run ~seed ~scenarios ()));
+    print_newline ();
+    print_string
+      (Ablation.Hierarchical.render (Ablation.Hierarchical.run ~seed ~scenarios:(max 5 (scenarios / 2)) ()))
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Reshaping, query-scheme and hierarchy ablations.")
+    Term.(const run $ seed_arg 11 $ scenarios_arg)
+
+let related_cmd =
+  let run seed scenarios =
+    let feas = Related_work.feasibility ~seed ~samples:scenarios () in
+    let cmp = Related_work.compare_schemes ~seed ~scenarios:(max 10 (scenarios / 2)) () in
+    print_string (Related_work.render feas cmp)
+  in
+  Cmd.v
+    (Cmd.info "related-work" ~doc:"SMRP vs redundant trees (Medard et al. [16]).")
+    Term.(const run $ seed_arg 16 $ scenarios_arg)
+
+let dot_cmd =
+  let run seed protocol =
+    let s = Scenario.run { Scenario.default with Scenario.seed } in
+    let tree =
+      match protocol with "spf" -> s.Scenario.spf_tree | _ -> s.Scenario.smrp_tree
+    in
+    print_string (Dot.network ~tree s.Scenario.graph)
+  in
+  let protocol =
+    Arg.(
+      value
+      & opt (enum [ ("smrp", "smrp"); ("spf", "spf") ]) "smrp"
+      & info [ "protocol" ] ~docv:"PROTO" ~doc:"Tree to highlight (smrp or spf).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit a Graphviz rendering of one scenario's tree.")
+    Term.(const run $ seed_arg 1 $ protocol)
+
+let () =
+  let doc = "Reproduction of SMRP (Wu & Shin, DSN 2005)." in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "smrp" ~version:"1.0.0" ~doc)
+          [
+            fig7_cmd;
+            fig8_cmd;
+            fig9_cmd;
+            fig10_cmd;
+            all_cmd;
+            scenario_cmd;
+            latency_cmd;
+            ablations_cmd;
+            related_cmd;
+            dot_cmd;
+          ]))

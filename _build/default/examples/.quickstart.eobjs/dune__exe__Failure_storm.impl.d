@@ -1,0 +1,1 @@
+examples/failure_storm.ml: Array List Option Printf Smrp_core Smrp_graph Smrp_rng Smrp_sim Smrp_topology

@@ -1,0 +1,1 @@
+examples/hierarchical_recovery.ml: Array Format List Printf Smrp_core Smrp_graph Smrp_rng Smrp_topology String

@@ -1,0 +1,1 @@
+examples/persistent_failures.ml: Array Format List Option Printf Smrp_core Smrp_graph Smrp_rng Smrp_topology

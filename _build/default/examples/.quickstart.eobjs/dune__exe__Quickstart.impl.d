@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Printf Smrp_core Smrp_graph Smrp_topology String

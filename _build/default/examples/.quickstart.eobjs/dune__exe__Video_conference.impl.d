@@ -1,0 +1,1 @@
+examples/video_conference.ml: Array Format List Printf Smrp_core Smrp_graph Smrp_metrics Smrp_rng Smrp_topology

@@ -1,0 +1,74 @@
+(* Hierarchical recovery (§3.3.3): a transit-stub internetwork where every
+   stub domain repairs its own failures, keeping reconfiguration out of the
+   backbone.
+
+   Run with:  dune exec examples/hierarchical_recovery.exe *)
+
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Subgraph = Smrp_graph.Subgraph
+module Transit_stub = Smrp_topology.Transit_stub
+module Tree = Smrp_core.Tree
+module Failure = Smrp_core.Failure
+module Recovery = Smrp_core.Recovery
+module Hierarchy = Smrp_core.Hierarchy
+
+let () =
+  let rng = Rng.create 7 in
+  let ts = Transit_stub.generate rng Transit_stub.default_params in
+  let g = ts.Transit_stub.graph in
+  Printf.printf "Transit-stub internetwork: %d routers, %d links, %d stub domains\n"
+    (Graph.node_count g) (Graph.edge_count g) ts.Transit_stub.stub_count;
+
+  (* The session: a source and twelve receivers scattered over the stubs. *)
+  let stub_nodes =
+    List.concat (List.init ts.Transit_stub.stub_count (Transit_stub.nodes_of_stub ts))
+  in
+  let pool = Array.of_list stub_nodes in
+  Rng.shuffle rng pool;
+  let source = pool.(0) in
+  let members = Array.to_list (Array.sub pool 1 12) in
+  let h = Hierarchy.build ~d_thresh:0.3 ts ~source ~members in
+
+  let domains = Hierarchy.member_domains h in
+  Printf.printf "Recovery domains in use: top (transit) + %d stub domains, agents: %s\n\n"
+    (List.length domains)
+    (String.concat ", "
+       (List.map (fun (d : Hierarchy.domain) -> string_of_int d.Hierarchy.agent) domains));
+
+  (* Fail the first on-tree link inside each member stub domain and recover
+     locally; compare against the flat tree over the whole internetwork. *)
+  let flat = Hierarchy.flat_equivalent h in
+  let stub_of v =
+    match ts.Transit_stub.roles.(v) with Transit_stub.Stub d -> d | Transit_stub.Transit _ -> -1
+  in
+  List.iter
+    (fun (dom : Hierarchy.domain) ->
+      let bridges = Smrp_graph.Connectivity.bridges dom.Hierarchy.sub.Subgraph.graph in
+      match
+        List.filter (fun e -> not (List.mem e bridges)) (Tree.tree_edges dom.Hierarchy.tree)
+      with
+      | [] -> ()
+      | sub_eid :: _ ->
+          let orig = dom.Hierarchy.sub.Subgraph.edge_from_sub.(sub_eid) in
+          let f = Failure.Link orig in
+          Printf.printf "Failure in stub domain %d (%s):\n" dom.Hierarchy.id
+            (Format.asprintf "%a" (Failure.pp g) f);
+          List.iter
+            (fun r ->
+              Printf.printf "  hierarchical: receiver %d re-attached inside domain %d, RD %.2f\n"
+                r.Hierarchy.receiver r.Hierarchy.domain_id r.Hierarchy.recovery_distance)
+            (Hierarchy.recover h f);
+          List.iter
+            (fun m ->
+              match Recovery.local_detour flat f ~member:m with
+              | Some d ->
+                  let escaped =
+                    List.exists (fun v -> stub_of v <> dom.Hierarchy.id) d.Recovery.path_nodes
+                  in
+                  Printf.printf "  flat:         receiver %d detour RD %.2f%s\n" m
+                    d.Recovery.recovery_distance
+                    (if escaped then "  (detour leaves the domain!)" else "")
+              | None -> Printf.printf "  flat:         receiver %d unrecoverable\n" m)
+            (Failure.affected_members flat f))
+    domains

@@ -1,0 +1,114 @@
+(* A session outliving a sequence of persistent failures (§1: disruptions
+   "usually last for hours", so several can be active at once).  Every
+   repair, every later join, and every reshaping pass must route around all
+   accumulated failures.
+
+   Run with:  dune exec examples/persistent_failures.exe *)
+
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Waxman = Smrp_topology.Waxman
+module Tree = Smrp_core.Tree
+module Failure = Smrp_core.Failure
+module Recovery = Smrp_core.Recovery
+module Session = Smrp_core.Session
+
+let () =
+  let rng = Rng.create 404 in
+  let topo = Waxman.generate rng ~n:80 ~alpha:0.25 ~beta:0.25 in
+  let g = topo.Waxman.graph in
+  let pool = Array.of_list (Rng.sample_without_replacement rng 25 80) in
+  Rng.shuffle rng pool;
+  (* A realistic head-end is multi-homed: source the session at the
+     best-connected sampled router. *)
+  let best = ref 0 in
+  Array.iteri (fun i v -> if Graph.degree g v > Graph.degree g pool.(!best) then best := i) pool;
+  let tmp = pool.(0) in
+  pool.(0) <- pool.(!best);
+  pool.(!best) <- tmp;
+  let source = pool.(0) in
+  let session = Session.create g ~source ~protocol:(Session.Smrp { d_thresh = 0.3 }) in
+  for i = 1 to 16 do
+    Session.join session pool.(i)
+  done;
+  Printf.printf "Session up: source %d, %d members, tree cost %.2f\n\n" source
+    (Tree.member_count (Session.tree session))
+    (Tree.total_cost (Session.tree session));
+
+  (* Three persistent failures arrive over the session's lifetime; between
+     them, members churn and the tree is reshaped. *)
+  let describe_failure round f =
+    Printf.printf "--- failure %d: %s\n" round (Format.asprintf "%a" (Failure.pp g) f)
+  in
+  (* A failure is only worth staging if it does not sever the source from
+     the bulk of the network once combined with the failures already
+     active (a fiber cut that isolates the head-end is a different story). *)
+  let survivable f =
+    let combined =
+      Failure.compose (f :: Option.to_list (Session.active_failure session))
+    in
+    let reachable =
+      Smrp_graph.Connectivity.reachable_from
+        ~node_ok:(Failure.node_ok combined)
+        ~edge_ok:(Failure.edge_ok g combined)
+        g source
+    in
+    Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 reachable
+    > Graph.node_count g / 2
+  in
+  let fail_something round =
+    let tree = Session.tree session in
+    let candidates =
+      List.filter_map
+        (fun m ->
+          match Failure.worst_case_for_member tree m with
+          | Some f when survivable f -> Some f
+          | _ -> None)
+        (Tree.members tree)
+    in
+    match candidates with
+    | f :: _ ->
+        describe_failure round f;
+        let repairs = Session.fail session f in
+        let lost =
+          List.length
+            (List.filter
+               (fun m -> not (Tree.is_member (Session.tree session) m))
+               (Failure.affected_members tree f))
+        in
+        Printf.printf "    %d members repaired (mean RD %.3f), %d lost\n" (List.length repairs)
+          (match repairs with
+          | [] -> 0.0
+          | _ ->
+              List.fold_left
+                (fun acc r -> acc +. r.Session.detour.Recovery.recovery_distance)
+                0.0 repairs
+              /. float_of_int (List.length repairs))
+          lost
+    | [] -> Printf.printf "--- failure %d: no survivable worst-case link, skipping\n" round
+  in
+  fail_something 1;
+  Printf.printf "    late joiner %d arrives (must avoid the dead link)\n" pool.(17);
+  Session.join session pool.(17);
+  fail_something 2;
+  let switches = Session.reshape_all session in
+  Printf.printf "    reshaping pass: %d switches (all avoiding dead links)\n" switches;
+  Session.join session pool.(18);
+  fail_something 3;
+
+  let tree = Session.tree session in
+  (match Session.active_failure session with
+  | Some f ->
+      Printf.printf "\nActive failures at end: %s\n" (Format.asprintf "%a" (Failure.pp g) f);
+      (* Audit: no tree edge uses a failed component. *)
+      let clean =
+        List.for_all (Failure.edge_ok g f) (Tree.tree_edges tree)
+        && List.for_all (Failure.node_ok f) (Tree.on_tree_nodes tree)
+      in
+      Printf.printf "tree avoids every failed component: %b\n" clean
+  | None -> print_endline "\nno failures recorded?");
+  match Tree.validate tree with
+  | Ok () ->
+      Printf.printf "final session: %d members, tree cost %.2f, invariants hold\n"
+        (Tree.member_count tree) (Tree.total_cost tree)
+  | Error e -> Printf.printf "INVARIANT VIOLATION: %s\n" e

@@ -1,0 +1,82 @@
+(* A QoS-sensitive video conference (the paper's §3.1 motivating workload):
+   participants churn over a 100-router ISP topology, the tree is reshaped
+   when Condition I detects SHR drift, and a router failure mid-conference
+   is repaired by local detours.
+
+   Run with:  dune exec examples/video_conference.exe *)
+
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Waxman = Smrp_topology.Waxman
+module Tree = Smrp_core.Tree
+module Smrp = Smrp_core.Smrp
+module Reshape = Smrp_core.Reshape
+module Failure = Smrp_core.Failure
+module Session = Smrp_core.Session
+module Stats = Smrp_metrics.Stats
+
+let () =
+  let rng = Rng.create 2026 in
+  let topo = Waxman.generate rng ~n:100 ~alpha:0.2 ~beta:0.2 in
+  let g = topo.Waxman.graph in
+  Printf.printf "ISP backbone: %d routers, %d links (avg degree %.1f)\n" (Graph.node_count g)
+    (Graph.edge_count g) (Graph.average_degree g);
+
+  let everyone = Array.of_list (Rng.sample_without_replacement rng 41 100) in
+  Rng.shuffle rng everyone;
+  let studio = everyone.(0) in
+  let session = Session.create g ~source:studio ~protocol:(Session.Smrp { d_thresh = 0.3 }) in
+  let monitor = ref (Reshape.monitor (Session.tree session)) in
+
+  Printf.printf "Studio feed originates at router %d.\n\n" studio;
+
+  (* Phase 1: 25 participants join. *)
+  for i = 1 to 25 do
+    Session.join session everyone.(i)
+  done;
+  let tree = Session.tree session in
+  let delays = List.map (Tree.delay_to_source tree) (Tree.members tree) in
+  Printf.printf "Phase 1 - %d participants connected; mean feed delay %.3f, tree cost %.2f\n"
+    (Tree.member_count tree) (Stats.mean delays) (Tree.total_cost tree);
+
+  (* Phase 2: churn — 10 leave, 15 more join; Condition I reshapes drifted
+     paths. *)
+  for i = 1 to 10 do
+    Session.leave session everyone.(i)
+  done;
+  for i = 26 to 40 do
+    Session.join session everyone.(i)
+  done;
+  let switches = Reshape.run_condition_i ~d_thresh:0.3 ~threshold:1 !monitor (Session.tree session) in
+  monitor := Reshape.monitor (Session.tree session);
+  let tree = Session.tree session in
+  Printf.printf "Phase 2 - churn complete: %d participants, Condition I reshaped %d paths\n"
+    (Tree.member_count tree) switches;
+
+  (* Phase 3: a backbone router fails mid-conference. *)
+  let victim = List.hd (Tree.members tree) in
+  (match Failure.worst_case_for_member tree victim with
+  | Some f ->
+      let affected = Failure.affected_members tree f in
+      Printf.printf "Phase 3 - worst-case failure for participant %d (%s): %d participants cut\n"
+        victim
+        (Format.asprintf "%a" (Failure.pp g) f)
+        (List.length affected);
+      let repairs = Session.fail session f in
+      let rds = List.map (fun r -> r.Session.detour.Smrp_core.Recovery.recovery_distance) repairs in
+      let lost =
+        List.filter_map (function Session.Lost m -> Some m | _ -> None) (Session.events session)
+      in
+      Printf.printf "          %d repaired by local detour (mean recovery distance %.3f), %d lost\n"
+        (List.length repairs)
+        (match rds with [] -> 0.0 | _ -> Stats.mean rds)
+        (List.length lost)
+  | None -> print_endline "Phase 3 - victim adjacent to the source; nothing to fail");
+
+  let tree = Session.tree session in
+  match Tree.validate tree with
+  | Ok () ->
+      let delays = List.map (Tree.delay_to_source tree) (Tree.members tree) in
+      Printf.printf "\nConference continues with %d participants; mean feed delay %.3f\n"
+        (Tree.member_count tree) (Stats.mean delays)
+  | Error e -> Printf.printf "invariant violation: %s\n" e

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Failure List Printf Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/failure.ml: Array Format List Option Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/hierarchy.ml: Array Failure Hashtbl List Option Recovery Smrp Smrp_graph Smrp_topology Tree

@@ -1,0 +1,1 @@
+lib/core/hierarchy.mli: Failure Recovery Smrp_graph Smrp_topology Tree

@@ -1,0 +1,1 @@
+lib/core/query.ml: Hashtbl List Smrp Smrp_graph Spf Tree

@@ -1,0 +1,1 @@
+lib/core/query.mli: Smrp Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Failure List Option Smrp_graph Tree

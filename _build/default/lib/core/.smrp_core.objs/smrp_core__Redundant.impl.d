@@ -1,0 +1,1 @@
+lib/core/redundant.ml: Array Failure Float Int List Set Smrp_graph

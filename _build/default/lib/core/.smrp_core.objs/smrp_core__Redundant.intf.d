@@ -1,0 +1,1 @@
+lib/core/redundant.mli: Failure Smrp_graph

@@ -1,0 +1,1 @@
+lib/core/reshape.ml: Hashtbl List Option Smrp Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/reshape.mli: Failure Tree

@@ -1,0 +1,1 @@
+lib/core/session.ml: Failure List Option Query Recovery Reshape Smrp Smrp_graph Spf Tree

@@ -1,0 +1,1 @@
+lib/core/session.mli: Failure Recovery Smrp_graph Tree

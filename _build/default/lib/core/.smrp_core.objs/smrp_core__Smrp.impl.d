@@ -1,0 +1,1 @@
+lib/core/smrp.ml: Failure List Option Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/smrp.mli: Failure Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/spf.ml: Failure List Smrp_graph Tree

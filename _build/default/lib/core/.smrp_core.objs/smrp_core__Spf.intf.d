@@ -1,0 +1,1 @@
+lib/core/spf.mli: Failure Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/steiner.ml: List Option Smrp_graph Tree

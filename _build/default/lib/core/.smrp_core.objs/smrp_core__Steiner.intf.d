@@ -1,0 +1,1 @@
+lib/core/steiner.mli: Smrp_graph Tree

@@ -1,0 +1,1 @@
+lib/core/tree.ml: Array Format List Printf Smrp_graph

@@ -1,0 +1,1 @@
+lib/core/tree.mli: Format Smrp_graph

@@ -1,0 +1,67 @@
+module Graph = Smrp_graph.Graph
+
+type t = Link of int | Node of int | Multi of t list
+
+let compose = function [ f ] -> f | fs -> Multi fs
+
+let rec node_ok f v =
+  match f with
+  | Link _ -> true
+  | Node u -> v <> u
+  | Multi fs -> List.for_all (fun f -> node_ok f v) fs
+
+let rec edge_ok g f eid =
+  match f with
+  | Link e -> eid <> e
+  | Node u ->
+      let e = Graph.edge g eid in
+      e.Graph.u <> u && e.Graph.v <> u
+  | Multi fs -> List.for_all (fun f -> edge_ok g f eid) fs
+
+let worst_case_for_member t r =
+  if r = Tree.source t then None
+  else begin
+    (* The first link below the source on the source→r tree path. *)
+    match Tree.path_to_source t r with
+    | _ :: _ ->
+        let rec first_below_source v =
+          match Tree.parent t v with
+          | Some p when p = Tree.source t -> Option.get (Tree.parent_edge t v)
+          | Some p -> first_below_source p
+          | None -> invalid_arg "Failure.worst_case_for_member: detached node"
+        in
+        Some (Link (first_below_source r))
+    | [] -> None
+  end
+
+let tree_connected t f =
+  let g = Tree.graph t in
+  let connected = Array.make (Graph.node_count g) false in
+  let s = Tree.source t in
+  if node_ok f s then begin
+    let rec visit v =
+      connected.(v) <- true;
+      List.iter
+        (fun c ->
+          match Tree.parent_edge t c with
+          | Some eid when node_ok f c && edge_ok g f eid -> visit c
+          | _ -> ())
+        (Tree.children t v)
+    in
+    visit s
+  end;
+  connected
+
+let affected_members t f =
+  let connected = tree_connected t f in
+  List.filter (fun m -> (not connected.(m)) && node_ok f m) (Tree.members t)
+
+let rec pp g ppf = function
+  | Link eid ->
+      let e = Graph.edge g eid in
+      Format.fprintf ppf "link failure %d--%d (edge %d)" e.Graph.u e.Graph.v eid
+  | Node v -> Format.fprintf ppf "node failure %d" v
+  | Multi fs ->
+      Format.fprintf ppf "@[<h>multiple failures:";
+      List.iter (fun f -> Format.fprintf ppf " [%a]" (pp g) f) fs;
+      Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Persistent failure scenarios: a broken link or an incapacitated router
+    (§1).  A scenario does not mutate the graph; it is expressed as the
+    node/edge filters the path computations already accept, so scenarios
+    compose with every search in the library. *)
+
+type t =
+  | Link of int  (** edge id *)
+  | Node of int
+  | Multi of t list
+      (** Simultaneous (or accumulated) failures; persistent failures last
+          hours, so a session typically outlives several. *)
+
+val compose : t list -> t
+(** Flatten a list of scenarios into one (a singleton stays itself). *)
+
+val node_ok : t -> int -> bool
+(** Whether a node survives the scenario. *)
+
+val edge_ok : Smrp_graph.Graph.t -> t -> int -> bool
+(** Whether an edge survives; a node failure kills its incident links. *)
+
+val worst_case_for_member : Tree.t -> int -> t option
+(** The paper's worst case for member [R] (§4.3.1): the failure of the
+    on-tree link incident to the source on the path towards [R] — the
+    failure that disables the largest portion of [R]'s tree.  [None] when
+    [R] is the source itself. *)
+
+val tree_connected : Tree.t -> t -> bool array
+(** [tree_connected t f] marks the on-tree nodes that still receive data:
+    reachable from the source along surviving tree links and nodes. *)
+
+val affected_members : Tree.t -> t -> int list
+(** Members that lost service (excluding a member whose own router died —
+    it cannot recover). *)
+
+val pp : Smrp_graph.Graph.t -> Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Service restoration after a persistent failure (§3.1, §4.3.1).
+
+    Two strategies are compared throughout the paper:
+
+    - {b local detour}: the disconnected member re-attaches to the nearest
+      on-tree node that still receives data (SMRP's recovery architecture);
+    - {b global detour}: the member re-runs the SPF join over the surviving
+      network, as PIM/MOSPF do once unicast routing re-converges; the new
+      path grafts at the first surviving on-tree node it meets.
+
+    Either way the {b recovery distance} [RD] counts only the delay of the
+    links newly brought into the tree (the [RD_D = 2] example of §3.1). *)
+
+type detour = {
+  member : int;
+  merge : int;  (** Surviving on-tree node where service is re-joined. *)
+  path_nodes : int list;  (** New links only: [member ... merge]. *)
+  path_edges : int list;
+  recovery_distance : float;  (** [RD_R]: delay over [path_edges]. *)
+  new_total_delay : float;  (** End-to-end delay after restoration. *)
+}
+
+val local_detour : Tree.t -> Failure.t -> member:int -> detour option
+(** Shortest connection from the receiver to any surviving on-tree node over
+    the surviving network.  [None] if the receiver is isolated.  A receiver
+    that still gets data receives the trivial detour ([merge = member],
+    [recovery_distance = 0]).  [member] need not currently be subscribed —
+    staged repair ({!Session.fail}) re-attaches receivers one at a time. *)
+
+val global_detour : Tree.t -> Failure.t -> member:int -> detour option
+(** SPF re-join over the surviving network. *)
+
+val surviving_tree : Tree.t -> Failure.t -> Tree.t
+(** A fresh tree over the same graph containing exactly the structure (and
+    members) that still receives data under the failure — the starting point
+    for staged repair. *)

@@ -1,0 +1,101 @@
+let candidate_of_previous t (nodes, edges) =
+  match nodes with
+  | merge :: _ ->
+      let attach_delay = Smrp_graph.Paths.delay_of_edges (Tree.graph t) edges in
+      {
+        Smrp.merge;
+        attach_nodes = nodes;
+        attach_edges = edges;
+        attach_delay;
+        total_delay = attach_delay +. Tree.delay_to_source t merge;
+        shr = Tree.shr t merge;
+      }
+  | [] -> invalid_arg "Reshape: empty previous attachment"
+
+let try_reshape ?d_thresh ?failure t r =
+  if not (Tree.is_on_tree t r) then invalid_arg "Reshape.try_reshape: off-tree node";
+  if r = Tree.source t then invalid_arg "Reshape.try_reshape: cannot reshape the source";
+  let d_thresh = Option.value d_thresh ~default:Smrp.default_d_thresh in
+  match Smrp.spf_distance ?failure t r with
+  | None -> false
+  | Some spf_dist ->
+      let branch, previous = Tree.detach_branch t ~node:r in
+      let current = candidate_of_previous t previous in
+      let exclude v = Tree.branch_contains branch v && v <> r in
+      let cands = Smrp.candidates ~exclude ?failure t ~joiner:r in
+      let bound = ((1.0 +. d_thresh) *. spf_dist) +. 1e-9 in
+      let chosen =
+        (* Only a candidate that respects the delay bound may replace the
+           current path (a fallback returned by [select] when nothing is
+           bounded must not). *)
+        match Smrp.select ~d_thresh ~spf_distance:spf_dist cands with
+        | Some best
+          when best.Smrp.total_delay <= bound
+               && (best.Smrp.shr < current.Smrp.shr
+                  || (best.Smrp.shr = current.Smrp.shr
+                     && best.Smrp.total_delay < current.Smrp.total_delay -. 1e-9)) ->
+            best
+        | _ -> current
+      in
+      Tree.attach_branch t branch ~nodes:chosen.Smrp.attach_nodes ~edges:chosen.Smrp.attach_edges;
+      chosen.Smrp.merge <> current.Smrp.merge || chosen.Smrp.attach_edges <> current.Smrp.attach_edges
+
+type stats = { switches : int; rounds : int }
+
+let stabilize ?d_thresh ?failure ?(max_rounds = 10) t =
+  if max_rounds < 1 then invalid_arg "Reshape.stabilize: max_rounds must be positive";
+  let rec run rounds switches =
+    if rounds = max_rounds then { switches; rounds }
+    else begin
+      (* Deepest-first order: re-homing a subtree does not invalidate the
+         pending decisions of shallower nodes as often. *)
+      let nodes =
+        Tree.on_tree_nodes t
+        |> List.filter (fun v -> v <> Tree.source t)
+        |> List.map (fun v -> (List.length (Tree.path_to_source t v), v))
+        |> List.sort (fun (d1, v1) (d2, v2) -> compare (-d1, v1) (-d2, v2))
+        |> List.map snd
+      in
+      let round_switches =
+        List.fold_left
+          (fun acc v ->
+            if Tree.is_on_tree t v && v <> Tree.source t && try_reshape ?d_thresh ?failure t v
+            then acc + 1
+            else acc)
+          0 nodes
+      in
+      if round_switches = 0 then { switches; rounds = rounds + 1 }
+      else run (rounds + 1) (switches + round_switches)
+    end
+  in
+  run 0 0
+
+type monitor = (int, int) Hashtbl.t
+
+let monitor t =
+  let m = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace m v (Tree.shr t v)) (Tree.on_tree_nodes t);
+  m
+
+let drifted m t ~threshold =
+  List.filter
+    (fun v ->
+      v <> Tree.source t
+      &&
+      let old_shr = try Hashtbl.find m v with Not_found -> 0 in
+      Tree.shr t v - old_shr > threshold)
+    (Tree.on_tree_nodes t)
+
+let note_reshaped m t v = Hashtbl.replace m v (if Tree.is_on_tree t v then Tree.shr t v else 0)
+
+let run_condition_i ?d_thresh ?(threshold = 1) m t =
+  let triggered = drifted m t ~threshold in
+  List.fold_left
+    (fun acc v ->
+      if Tree.is_on_tree t v && v <> Tree.source t then begin
+        let switched = try_reshape ?d_thresh t v in
+        note_reshaped m t v;
+        if switched then acc + 1 else acc
+      end
+      else acc)
+    0 triggered

@@ -1,0 +1,39 @@
+(** Tree reshaping (§3.2.3).
+
+    A node re-runs path selection with its own subtree discounted and
+    switches to the new path when the new merge point is strictly better
+    (smaller adjusted SHR, then smaller delay).  Both trigger conditions are
+    provided:
+
+    - {b Condition I}: the node's SHR has drifted by more than a threshold
+      since the last check (new members were admitted through its upstream
+      path) — see {!monitor};
+    - {b Condition II}: a periodic sweep, modelled by {!stabilize}. *)
+
+val try_reshape : ?d_thresh:float -> ?failure:Failure.t -> Tree.t -> int -> bool
+(** [try_reshape t r] re-evaluates node [r]'s upstream path; returns whether
+    the node switched.  [r] must be on-tree and not the source. *)
+
+type stats = { switches : int; rounds : int }
+
+val stabilize : ?d_thresh:float -> ?failure:Failure.t -> ?max_rounds:int -> Tree.t -> stats
+(** Sweep all non-source on-tree nodes repeatedly (deepest first, so moved
+    subtrees settle before their ancestors are reconsidered) until a round
+    performs no switch, or [max_rounds] (default 10) is reached. *)
+
+(** Condition-I bookkeeping: remembers [SHR^old] per node, as received after
+    the last reshaping round. *)
+type monitor
+
+val monitor : Tree.t -> monitor
+
+val drifted : monitor -> Tree.t -> threshold:int -> int list
+(** Nodes whose current SHR exceeds the recorded [SHR^old] by more than
+    [threshold]. *)
+
+val note_reshaped : monitor -> Tree.t -> int -> unit
+(** Record the node's current SHR as its new [SHR^old]. *)
+
+val run_condition_i : ?d_thresh:float -> ?threshold:int -> monitor -> Tree.t -> int
+(** Trigger {!try_reshape} at every drifted node (refreshing their
+    snapshots); returns the number of switches. *)

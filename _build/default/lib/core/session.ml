@@ -1,0 +1,110 @@
+type protocol = Spf | Smrp of { d_thresh : float } | Smrp_query of { d_thresh : float }
+
+type repair = { detour : Recovery.detour; strategy : [ `Local | `Global ] }
+
+type event =
+  | Joined of int
+  | Left of int
+  | Reshaped of { node : int; switches : int }
+  | Failed of Failure.t
+  | Repaired of repair
+  | Lost of int
+
+type t = {
+  graph : Smrp_graph.Graph.t;
+  protocol : protocol;
+  mutable tree : Tree.t;
+  mutable active_failures : Failure.t list; (* persistent, newest first *)
+  mutable events : event list; (* newest first *)
+}
+
+let create graph ~source ~protocol =
+  { graph; protocol; tree = Tree.create graph ~source; active_failures = []; events = [] }
+
+let active_failure t =
+  match t.active_failures with [] -> None | fs -> Some (Failure.compose fs)
+
+let tree t = t.tree
+
+let protocol t = t.protocol
+
+let events t = List.rev t.events
+
+let log t e = t.events <- e :: t.events
+
+let join t nr =
+  let failure = active_failure t in
+  (match t.protocol with
+  | Spf -> Spf.join ?failure t.tree nr
+  | Smrp { d_thresh } -> Smrp.join ~d_thresh ?failure t.tree nr
+  | Smrp_query { d_thresh } ->
+      (* The query scheme has no failure-aware variant; under active
+         failures fall back to the failure-aware SMRP selection. *)
+      (match failure with
+      | None -> Query.join ~d_thresh t.tree nr
+      | Some _ -> Smrp.join ~d_thresh ?failure t.tree nr));
+  log t (Joined nr)
+
+let leave t m =
+  Tree.remove_member t.tree m;
+  log t (Left m)
+
+let reshape_all t =
+  match t.protocol with
+  | Spf -> 0
+  | Smrp { d_thresh } | Smrp_query { d_thresh } ->
+      let stats = Reshape.stabilize ~d_thresh ?failure:(active_failure t) t.tree in
+      if stats.Reshape.switches > 0 then
+        log t (Reshaped { node = Tree.source t.tree; switches = stats.Reshape.switches });
+      stats.Reshape.switches
+
+let fail t f =
+  log t (Failed f);
+  t.active_failures <- f :: t.active_failures;
+  (* Detours must avoid every failure still active, not just the new one. *)
+  let f = Option.get (active_failure t) in
+  let strategy = match t.protocol with Spf -> `Global | Smrp _ | Smrp_query _ -> `Local in
+  let affected = Failure.affected_members t.tree f in
+  let dead =
+    List.filter (fun m -> not (Failure.node_ok f m)) (Tree.members t.tree)
+  in
+  let fresh = Recovery.surviving_tree t.tree f in
+  (* Closest-detour-first repair: each re-attachment can serve as a merge
+     point for the next member (Fig. 2(b)), so detours are recomputed after
+     every graft. *)
+  let rec repair pending repairs =
+    let detour_of m =
+      match strategy with
+      | `Local -> Recovery.local_detour fresh f ~member:m
+      | `Global -> Recovery.global_detour fresh f ~member:m
+    in
+    let options =
+      List.filter_map (fun m -> Option.map (fun d -> (m, d)) (detour_of m)) pending
+    in
+    match
+      List.sort
+        (fun (_, a) (_, b) ->
+          compare
+            (a.Recovery.recovery_distance, a.Recovery.member)
+            (b.Recovery.recovery_distance, b.Recovery.member))
+        options
+    with
+    | [] ->
+        List.iter (fun m -> log t (Lost m)) pending;
+        List.rev repairs
+    | (m, d) :: _ ->
+        (match d.Recovery.path_edges with
+        | [] -> Tree.add_member fresh m (* merge node is the member itself *)
+        | _ ->
+            Tree.graft fresh
+              ~nodes:(List.rev d.Recovery.path_nodes)
+              ~edges:(List.rev d.Recovery.path_edges);
+            Tree.add_member fresh m);
+        let r = { detour = d; strategy } in
+        log t (Repaired r);
+        repair (List.filter (fun m' -> m' <> m) pending) (r :: repairs)
+  in
+  List.iter (fun m -> log t (Lost m)) dead;
+  let repairs = repair affected [] in
+  t.tree <- fresh;
+  repairs

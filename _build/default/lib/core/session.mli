@@ -1,0 +1,57 @@
+(** High-level façade: one multicast session under a chosen protocol, with
+    membership churn, reshaping and failure repair.  This is the API the
+    examples and the CLI drive; experiments use the lower-level modules
+    directly. *)
+
+type protocol =
+  | Spf  (** The SPF/PIM-style baseline. *)
+  | Smrp of { d_thresh : float }
+  | Smrp_query of { d_thresh : float }  (** SMRP under the §3.3.1 query scheme. *)
+
+type repair = {
+  detour : Recovery.detour;
+  strategy : [ `Local | `Global ];
+}
+
+type event =
+  | Joined of int
+  | Left of int
+  | Reshaped of { node : int; switches : int }
+  | Failed of Failure.t
+  | Repaired of repair
+  | Lost of int  (** Member permanently isolated by the failure. *)
+
+type t
+
+val create : Smrp_graph.Graph.t -> source:int -> protocol:protocol -> t
+
+val tree : t -> Tree.t
+
+val protocol : t -> protocol
+
+val events : t -> event list
+(** Event log, oldest first. *)
+
+val active_failure : t -> Failure.t option
+(** The composition of every failure injected so far (persistent failures
+    outlive repairs); joins and repairs route around all of them. *)
+
+val join : t -> int -> unit
+
+val leave : t -> int -> unit
+
+val reshape_all : t -> int
+(** Condition-II sweep; returns the number of path switches. *)
+
+val fail : t -> Failure.t -> repair list
+(** Apply a persistent failure and repair the session.  The failure stays
+    active for the rest of the session: later joins and later repairs avoid
+    it too.
+
+    Under SMRP protocols each disconnected member takes its local detour;
+    under SPF it re-joins by global detour, as PIM would after unicast
+    reconvergence.  The tree is rebuilt: surviving structure is kept,
+    disconnected members re-attach one by one (closest detour first, so an
+    early recovery can serve as a later member's merge point, as in
+    Fig. 2(b)).  Members that cannot reach any surviving node are dropped
+    and logged as {!Lost}. *)

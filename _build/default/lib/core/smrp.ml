@@ -1,0 +1,94 @@
+module Dijkstra = Smrp_graph.Dijkstra
+
+type candidate = {
+  merge : int;
+  attach_nodes : int list;
+  attach_edges : int list;
+  attach_delay : float;
+  total_delay : float;
+  shr : int;
+}
+
+let default_d_thresh = 0.3
+
+let candidates ?(exclude = fun _ -> false) ?failure t ~joiner =
+  let g = Tree.graph t in
+  let alive v = match failure with None -> true | Some f -> Failure.node_ok f v in
+  let edge_alive e = match failure with None -> true | Some f -> Failure.edge_ok g f e in
+  let admissible v = alive v && not (exclude v) in
+  let absorb v = Tree.is_on_tree t v && admissible v in
+  let result = Dijkstra.run ~node_ok:admissible ~edge_ok:edge_alive ~absorb g ~source:joiner in
+  let acc = ref [] in
+  for merge = Smrp_graph.Graph.node_count g - 1 downto 0 do
+    if merge <> joiner && absorb merge && Dijkstra.reachable result merge then begin
+      match (Dijkstra.path_nodes result merge, Dijkstra.path_edges result merge) with
+      | Some nodes, Some edges ->
+          let attach_delay = Option.get (Dijkstra.distance result merge) in
+          let candidate =
+            {
+              merge;
+              (* Dijkstra paths run joiner → merge; grafting wants them
+                 merge → joiner. *)
+              attach_nodes = List.rev nodes;
+              attach_edges = List.rev edges;
+              attach_delay;
+              total_delay = attach_delay +. Tree.delay_to_source t merge;
+              shr = Tree.shr t merge;
+            }
+          in
+          acc := candidate :: !acc
+      | _ -> ()
+    end
+  done;
+  !acc
+
+let spf_distance ?failure t v =
+  let g = Tree.graph t in
+  let node_ok v = match failure with None -> true | Some f -> Failure.node_ok f v in
+  let edge_ok e = match failure with None -> true | Some f -> Failure.edge_ok g f e in
+  let r = Dijkstra.run ~node_ok ~edge_ok g ~source:v in
+  Dijkstra.distance r (Tree.source t)
+
+let bound_epsilon = 1e-9
+
+let better a b =
+  a.shr < b.shr
+  || (a.shr = b.shr && a.total_delay < b.total_delay -. bound_epsilon)
+  || (a.shr = b.shr && abs_float (a.total_delay -. b.total_delay) <= bound_epsilon && a.merge < b.merge)
+
+let minimum_by le = function
+  | [] -> None
+  | first :: rest -> Some (List.fold_left (fun best c -> if le c best then c else best) first rest)
+
+let select ?(d_thresh = default_d_thresh) ~spf_distance cands =
+  if d_thresh < 0.0 then invalid_arg "Smrp.select: d_thresh must be non-negative";
+  let bound = ((1.0 +. d_thresh) *. spf_distance) +. bound_epsilon in
+  let bounded = List.filter (fun c -> c.total_delay <= bound) cands in
+  match bounded with
+  | _ :: _ -> minimum_by better bounded
+  | [] ->
+      (* No candidate meets the bound: degrade to the lowest-delay
+         connection, i.e. SPF behaviour. *)
+      minimum_by (fun a b -> a.total_delay < b.total_delay) cands
+
+let join ?d_thresh ?failure t nr =
+  if Tree.is_member t nr then invalid_arg "Smrp.join: already a member";
+  if Tree.is_on_tree t nr then Tree.add_member t nr
+  else begin
+    match spf_distance ?failure t nr with
+    | None -> invalid_arg "Smrp.join: source unreachable"
+    | Some spf_dist -> begin
+        match select ?d_thresh ~spf_distance:spf_dist (candidates ?failure t ~joiner:nr) with
+        | None -> invalid_arg "Smrp.join: no connection to the tree"
+        | Some c ->
+            Tree.graft t ~nodes:c.attach_nodes ~edges:c.attach_edges;
+            Tree.add_member t nr
+      end
+  end
+
+let leave t m = Tree.remove_member t m
+
+let build ?d_thresh g ~source ~members =
+  let t = Tree.create g ~source in
+  List.iter (join ?d_thresh t) members;
+  t

@@ -1,0 +1,56 @@
+(** The Survivable Multicast Routing Protocol (§3.2).
+
+    A joining member enumerates, for every on-tree node [R], the shortest
+    connection whose interior avoids the tree (so [R] is the true merge
+    point, paper footnote 4), and applies the Path Selection Criterion:
+
+    - minimise [SHR(S,R)] over the candidate merge points;
+    - subject to [total delay <= (1 + d_thresh) * D_SPF];
+    - ties broken by total delay, then lowest node id (determinism).
+
+    If no candidate meets the delay bound the member falls back to the
+    lowest-delay candidate (equivalent to the SPF join; the paper does not
+    discuss this corner, which arises when every bounded connection is
+    blocked — e.g. extreme [d_thresh = 0]
+    with a tree whose paths are all non-shortest). *)
+
+type candidate = {
+  merge : int;  (** The on-tree merge node [R_i]. *)
+  attach_nodes : int list;  (** Path from [merge] to the joiner. *)
+  attach_edges : int list;
+  attach_delay : float;  (** Delay of the new links only. *)
+  total_delay : float;  (** [attach_delay] + tree delay of [merge]. *)
+  shr : int;  (** [SHR(S, merge)] in the current tree. *)
+}
+
+val default_d_thresh : float
+(** 0.3, the paper's reference setting. *)
+
+val candidates :
+  ?exclude:(int -> bool) -> ?failure:Failure.t -> Tree.t -> joiner:int -> candidate list
+(** All merge options for [joiner], ordered by merge-node id.  [exclude]
+    removes nodes from both traversal and merging (used by reshaping to
+    keep the detached branch out of the search); [failure] removes failed
+    components (joins arriving while failures are active). *)
+
+val spf_distance : ?failure:Failure.t -> Tree.t -> int -> float option
+(** Unicast shortest-path delay from a node to the source, over the
+    surviving network when [failure] is given. *)
+
+val select : ?d_thresh:float -> spf_distance:float -> candidate list -> candidate option
+(** Apply the Path Selection Criterion; [None] when the list is empty.
+    Falls back to the lowest-delay candidate when none meets the bound. *)
+
+val join : ?d_thresh:float -> ?failure:Failure.t -> Tree.t -> int -> unit
+(** SMRP join (§3.2.2).  A joiner that is already on-tree (a relay)
+    subscribes in place and keeps its existing path — a zero-cost join that
+    may exceed the delay bound; a later reshaping pass can move it.  Raises
+    [Invalid_argument] if the node is already a member or no connection to
+    the tree exists. *)
+
+val leave : Tree.t -> int -> unit
+(** Explicit [Leave_Req]: alias of {!Tree.remove_member}. *)
+
+val build :
+  ?d_thresh:float -> Smrp_graph.Graph.t -> source:int -> members:int list -> Tree.t
+(** Fresh tree with the given members joined in list order. *)

@@ -1,0 +1,36 @@
+module Dijkstra = Smrp_graph.Dijkstra
+
+let attach_path ?failure t nr =
+  if Tree.is_on_tree t nr then ([ nr ], [])
+  else begin
+    let g = Tree.graph t in
+    let node_ok v = match failure with None -> true | Some f -> Failure.node_ok f v in
+    let edge_ok e = match failure with None -> true | Some f -> Failure.edge_ok g f e in
+    match Dijkstra.shortest_path ~node_ok ~edge_ok g ~src:nr ~dst:(Tree.source t) with
+    | None -> invalid_arg "Spf.attach_path: source unreachable"
+    | Some (_, nodes, edges) ->
+        (* The join travels nr → source and grafts at the first on-tree node
+           it meets; the graft path runs from that merge node back to nr.
+           [nodes] is nr..S with [edges] aligned pairwise. *)
+        let rec walk nodes edges acc_nodes acc_edges =
+          match (nodes, edges) with
+          | v :: _, _ when Tree.is_on_tree t v -> (v :: acc_nodes, acc_edges)
+          | v :: rest, e :: es -> walk rest es (v :: acc_nodes) (e :: acc_edges)
+          | _ -> invalid_arg "Spf.attach_path: no on-tree node on the path"
+        in
+        walk nodes edges [] []
+  end
+
+let join ?failure t nr =
+  if Tree.is_member t nr then invalid_arg "Spf.join: already a member";
+  (match attach_path ?failure t nr with
+  | [ _ ], [] -> ()
+  | nodes, edges -> Tree.graft t ~nodes ~edges);
+  Tree.add_member t nr
+
+let leave t m = Tree.remove_member t m
+
+let build g ~source ~members =
+  let t = Tree.create g ~source in
+  List.iter (join t) members;
+  t

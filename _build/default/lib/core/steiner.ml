@@ -1,0 +1,56 @@
+module Graph = Smrp_graph.Graph
+module Dijkstra = Smrp_graph.Dijkstra
+
+(* The cheapest connection from [joiner] to the current tree: an absorbing
+   Dijkstra over link costs.  Delay and cost coincide on the graphs used
+   here, so the delay-weighted search doubles as the cost-weighted one. *)
+let cheapest_connection t ~joiner =
+  let absorb v = Tree.is_on_tree t v in
+  let result = Dijkstra.run ~absorb (Tree.graph t) ~source:joiner in
+  let best = ref None in
+  for v = Graph.node_count (Tree.graph t) - 1 downto 0 do
+    if absorb v && v <> joiner && Dijkstra.reachable result v then begin
+      let d = Option.get (Dijkstra.distance result v) in
+      match !best with Some (bd, _) when bd < d -> () | _ -> best := Some (d, v)
+    end
+  done;
+  match !best with
+  | None -> None
+  | Some (d, merge) ->
+      Some (d, List.rev (Option.get (Dijkstra.path_nodes result merge)),
+            List.rev (Option.get (Dijkstra.path_edges result merge)))
+
+let join t nr =
+  if Tree.is_member t nr then invalid_arg "Steiner.join: already a member";
+  if Tree.is_on_tree t nr then Tree.add_member t nr
+  else begin
+    match cheapest_connection t ~joiner:nr with
+    | None -> invalid_arg "Steiner.join: no connection to the tree"
+    | Some (_, nodes, edges) ->
+        Tree.graft t ~nodes ~edges;
+        Tree.add_member t nr
+  end
+
+let leave t m = Tree.remove_member t m
+
+let build g ~source ~members =
+  let t = Tree.create g ~source in
+  (* Takahashi–Matsuyama order: always the member closest to the current
+     tree next. *)
+  let remaining = ref (List.filter (fun m -> not (Tree.is_member t m)) members) in
+  while !remaining <> [] do
+    let scored =
+      List.filter_map
+        (fun m ->
+          if Tree.is_on_tree t m then Some (0.0, m)
+          else
+            Option.map (fun (d, _, _) -> (d, m)) (cheapest_connection t ~joiner:m))
+        !remaining
+    in
+    match List.sort compare scored with
+    | [] -> invalid_arg "Steiner.build: some member cannot reach the tree"
+    | (_, next) :: _ ->
+        join t next;
+        remaining := List.filter (fun m -> m <> next) !remaining
+  done;
+  t

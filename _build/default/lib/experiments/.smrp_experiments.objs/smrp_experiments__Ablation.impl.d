@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Int64 List Option Printf Smrp_core Smrp_graph Smrp_metrics Smrp_rng Smrp_topology

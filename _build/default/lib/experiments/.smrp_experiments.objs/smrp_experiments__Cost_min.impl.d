@@ -1,0 +1,1 @@
+lib/experiments/cost_min.ml: Array List Option Printf Smrp_core Smrp_metrics Smrp_rng Smrp_topology

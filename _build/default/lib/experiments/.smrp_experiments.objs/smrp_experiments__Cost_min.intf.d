@@ -1,0 +1,1 @@
+lib/experiments/cost_min.mli: Smrp_metrics

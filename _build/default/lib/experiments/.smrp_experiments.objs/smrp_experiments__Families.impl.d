@@ -1,0 +1,1 @@
+lib/experiments/families.ml: Array Float Fun List Printf Scenario Smrp_core Smrp_graph Smrp_metrics Smrp_rng Smrp_topology

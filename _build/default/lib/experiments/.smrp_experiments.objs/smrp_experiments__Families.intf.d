@@ -1,0 +1,1 @@
+lib/experiments/families.mli: Smrp_metrics

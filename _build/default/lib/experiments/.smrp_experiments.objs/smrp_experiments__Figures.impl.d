@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Int64 List Printf Scenario Smrp_metrics Smrp_rng Smrp_topology

@@ -1,0 +1,1 @@
+lib/experiments/latency.ml: Array Int64 List Printf Scenario Smrp_core Smrp_graph Smrp_metrics Smrp_rng Smrp_sim Smrp_topology

@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: List Printf Scenario Smrp_metrics Smrp_rng Smrp_sim Smrp_topology

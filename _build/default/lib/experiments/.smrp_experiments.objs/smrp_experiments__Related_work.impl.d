@@ -1,0 +1,1 @@
+lib/experiments/related_work.ml: Array List Printf Smrp_core Smrp_graph Smrp_metrics Smrp_rng Smrp_topology

@@ -1,0 +1,1 @@
+lib/experiments/related_work.mli: Smrp_metrics

@@ -1,0 +1,1 @@
+lib/experiments/scenario.ml: Array List Option Smrp_core Smrp_graph Smrp_metrics Smrp_rng Smrp_topology

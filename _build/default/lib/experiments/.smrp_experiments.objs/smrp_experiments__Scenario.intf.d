@@ -1,0 +1,1 @@
+lib/experiments/scenario.mli: Smrp_core Smrp_graph Smrp_rng Smrp_topology

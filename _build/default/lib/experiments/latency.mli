@@ -1,0 +1,38 @@
+(** Packet-level restoration-latency experiment (the §1 motivation, after
+    [25]): on the same topology and group, compare the time from failure to
+    data resumption under
+
+    - {b SMRP}: min-SHR tree, starvation/hello detection, immediate local
+      detour;
+    - {b PIM/OSPF}: SPF tree, same detection, global re-join gated by the
+      unicast reconvergence time.
+
+    The failure is the worst case for a random member: the on-tree link
+    incident to the source towards it. *)
+
+type config = {
+  scenario : Scenario.config;
+  ospf_convergence : float;
+  settle_time : float;  (** Sim time for joins and soft state to settle. *)
+  run_time : float;  (** Sim time after failure injection. *)
+}
+
+val default : config
+
+type side_result = {
+  restored : int;  (** Members that resumed receiving data. *)
+  disrupted : int;  (** Members that lost service at all. *)
+  mean_detection : float;  (** Failure → starvation/hello detection. *)
+  mean_restoration : float;  (** Failure → first data after recovery. *)
+  control_messages : int;
+}
+
+type result = { seed : int; smrp : side_result; pim : side_result }
+
+val run : config -> result option
+(** [None] when every member's worst-case link is a graph bridge (recovery
+    impossible); {!run_many} skips such draws. *)
+
+val run_many : ?seed:int -> ?runs:int -> config -> result list
+
+val render : result list -> string

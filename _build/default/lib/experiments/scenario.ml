@@ -1,0 +1,152 @@
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Waxman = Smrp_topology.Waxman
+module Tree = Smrp_core.Tree
+module Spf = Smrp_core.Spf
+module Smrp = Smrp_core.Smrp
+module Failure = Smrp_core.Failure
+module Recovery = Smrp_core.Recovery
+module Stats = Smrp_metrics.Stats
+
+type config = {
+  n : int;
+  group_size : int;
+  alpha : float;
+  beta : float;
+  d_thresh : float;
+  link_delay : Waxman.link_delay;
+  seed : int;
+}
+
+let default =
+  {
+    n = 100;
+    group_size = 30;
+    alpha = 0.2;
+    beta = 0.2;
+    d_thresh = 0.3;
+    (* Hop-count link metric, as GT-ITM scenario files commonly weight
+       links.  Under geometric (Euclidean) delays the Fig. 9 trend inverts —
+       see EXPERIMENTS.md. *)
+    link_delay = `Unit;
+    seed = 1;
+  }
+
+type member_outcome = {
+  member : int;
+  rd_local_spf : float option;
+  rd_local_smrp : float option;
+  rd_global_spf : float option;
+  rd_global_smrp : float option;
+  delay_spf : float;
+  delay_smrp : float;
+}
+
+type t = {
+  config : config;
+  graph : Graph.t;
+  source : int;
+  members : int list;
+  spf_tree : Tree.t;
+  smrp_tree : Tree.t;
+  average_degree : float;
+  cost_spf : float;
+  cost_smrp : float;
+  outcomes : member_outcome list;
+}
+
+(* Worst-case failure for a member in a given tree (§4.3.1), then the
+   recovery distance under the given strategy. *)
+let recovery_distance tree member strategy =
+  match Failure.worst_case_for_member tree member with
+  | None -> None
+  | Some f -> begin
+      let detour =
+        match strategy with
+        | `Local -> Recovery.local_detour tree f ~member
+        | `Global -> Recovery.global_detour tree f ~member
+      in
+      Option.map (fun d -> d.Recovery.recovery_distance) detour
+    end
+
+let evaluate graph ~source ~members ~d_thresh =
+  let spf_tree = Spf.build graph ~source ~members in
+  let smrp_tree = Smrp.build ~d_thresh graph ~source ~members in
+  let outcome m =
+    {
+      member = m;
+      rd_local_spf = recovery_distance spf_tree m `Local;
+      rd_local_smrp = recovery_distance smrp_tree m `Local;
+      rd_global_spf = recovery_distance spf_tree m `Global;
+      rd_global_smrp = recovery_distance smrp_tree m `Global;
+      delay_spf = Tree.delay_to_source spf_tree m;
+      delay_smrp = Tree.delay_to_source smrp_tree m;
+    }
+  in
+  (spf_tree, smrp_tree, List.map outcome members)
+
+let pick_group rng ~n ~group_size =
+  (* Source and group drawn together, then the source chosen uniformly
+     among them (avoids biasing the source towards low node ids). *)
+  let chosen = Array.of_list (Rng.sample_without_replacement rng (group_size + 1) n) in
+  Rng.shuffle rng chosen;
+  (chosen.(0), Array.to_list (Array.sub chosen 1 group_size))
+
+let run config =
+  if config.group_size + 1 > config.n then invalid_arg "Scenario.run: group larger than network";
+  let rng = Rng.create config.seed in
+  let topo_rng = Rng.split rng in
+  let member_rng = Rng.split rng in
+  let topo =
+    Waxman.generate ~link_delay:config.link_delay topo_rng ~n:config.n ~alpha:config.alpha
+      ~beta:config.beta
+  in
+  let graph = topo.Waxman.graph in
+  let source, members = pick_group member_rng ~n:config.n ~group_size:config.group_size in
+  let spf_tree, smrp_tree, outcomes = evaluate graph ~source ~members ~d_thresh:config.d_thresh in
+  {
+    config;
+    graph;
+    source;
+    members;
+    spf_tree;
+    smrp_tree;
+    average_degree = Graph.average_degree graph;
+    cost_spf = Tree.total_cost spf_tree;
+    cost_smrp = Tree.total_cost smrp_tree;
+    outcomes;
+  }
+
+type aggregates = {
+  rd_relative : float;
+  rd_relative_tree : float;
+  delay_relative : float;
+  cost_relative : float;
+  local_vs_global : float;
+}
+
+let mean_reduction pairs =
+  let rels =
+    List.filter_map
+      (fun (baseline, improved) ->
+        match (baseline, improved) with
+        | Some b, Some i when b > 0.0 -> Some (Stats.relative_reduction ~baseline:b ~improved:i)
+        | _ -> None)
+      pairs
+  in
+  match rels with [] -> 0.0 | _ -> Stats.mean rels
+
+let aggregates t =
+  let pick f g = List.map (fun o -> (f o, g o)) t.outcomes in
+  let delay_rels =
+    List.map
+      (fun o -> Stats.relative_increase ~baseline:o.delay_spf ~changed:o.delay_smrp)
+      t.outcomes
+  in
+  {
+    rd_relative = mean_reduction (pick (fun o -> o.rd_global_spf) (fun o -> o.rd_local_smrp));
+    rd_relative_tree = mean_reduction (pick (fun o -> o.rd_local_spf) (fun o -> o.rd_local_smrp));
+    delay_relative = (match delay_rels with [] -> 0.0 | _ -> Stats.mean delay_rels);
+    cost_relative = Stats.relative_increase ~baseline:t.cost_spf ~changed:t.cost_smrp;
+    local_vs_global = mean_reduction (pick (fun o -> o.rd_global_smrp) (fun o -> o.rd_local_smrp));
+  }

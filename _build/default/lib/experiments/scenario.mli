@@ -1,0 +1,85 @@
+(** One simulation scenario of §4: a random Waxman topology, a random
+    multicast group, the SPF-built and SMRP-built trees, and the worst-case
+    failure measurement for every member.
+
+    Interpretation (see DESIGN.md §3): Figs. 8–10 compare the two
+    {e tree-construction protocols} under the same local-detour recovery
+    architecture, while Fig. 7 compares the two {e recovery strategies} on
+    the SMRP tree.  All four per-member recovery distances are therefore
+    recorded. *)
+
+type config = {
+  n : int;  (** Network size (paper: 100). *)
+  group_size : int;  (** [N_G] (paper: 20–50). *)
+  alpha : float;  (** Waxman edge density (paper: 0.15–0.3). *)
+  beta : float;  (** Waxman long-edge parameter, fixed (we use 0.2). *)
+  d_thresh : float;  (** SMRP delay bound (paper: 0.1–0.4 around 0.3). *)
+  link_delay : Smrp_topology.Waxman.link_delay;  (** Link metric model. *)
+  seed : int;
+}
+
+val default : config
+(** The paper's reference setting: N=100, N_G=30, α=0.2, D_thresh=0.3. *)
+
+type member_outcome = {
+  member : int;
+  rd_local_spf : float option;
+      (** Local-detour recovery distance on the SPF tree under that tree's
+          worst-case failure; [None] if the member was isolated. *)
+  rd_local_smrp : float option;  (** Same on the SMRP tree. *)
+  rd_global_spf : float option;  (** Global detour on the SPF tree. *)
+  rd_global_smrp : float option;  (** Global detour on the SMRP tree. *)
+  delay_spf : float;  (** End-to-end tree delay on the SPF tree. *)
+  delay_smrp : float;
+}
+
+type t = {
+  config : config;
+  graph : Smrp_graph.Graph.t;
+  source : int;
+  members : int list;
+  spf_tree : Smrp_core.Tree.t;
+  smrp_tree : Smrp_core.Tree.t;
+  average_degree : float;
+  cost_spf : float;
+  cost_smrp : float;
+  outcomes : member_outcome list;
+}
+
+val run : config -> t
+(** Deterministic in [config] (including [seed]). *)
+
+val evaluate :
+  Smrp_graph.Graph.t ->
+  source:int ->
+  members:int list ->
+  d_thresh:float ->
+  Smrp_core.Tree.t * Smrp_core.Tree.t * member_outcome list
+(** Build the SPF and SMRP trees on a caller-supplied topology and measure
+    every member — the core of {!run}, exposed for experiments over other
+    topology families. *)
+
+val pick_group : Smrp_rng.Rng.t -> n:int -> group_size:int -> int * int list
+(** Draw a source and a member set uniformly (the source is an unbiased
+    pick among the drawn nodes). *)
+
+(** Per-scenario aggregates: the relative metrics of §4.2 averaged over the
+    group (members without a defined baseline are skipped).
+
+    [rd_relative] is the protocol-vs-protocol comparison the paper reports
+    in Figs. 8–10: the deployed system recovers by global detour on the SPF
+    tree (PIM after unicast reconvergence), SMRP by local detour on its own
+    tree.  [rd_relative_tree] isolates the tree-construction contribution
+    (local detour on both trees); [local_vs_global] isolates the recovery
+    mechanism (both strategies on the SMRP tree, Fig. 7). *)
+type aggregates = {
+  rd_relative : float;  (** [(RD^SPF_global - RD^SMRP_local) / RD^SPF_global]. *)
+  rd_relative_tree : float;  (** [(RD^SPF_local - RD^SMRP_local) / RD^SPF_local]. *)
+  delay_relative : float;  (** [(D^SMRP - D^SPF) / D^SPF]. *)
+  cost_relative : float;  (** [(Cost^SMRP - Cost^SPF) / Cost^SPF]. *)
+  local_vs_global : float;
+      (** [(RD^global - RD^local) / RD^global] on the SMRP tree (Fig. 7's
+          reduction). *)
+}
+
+val aggregates : t -> aggregates

@@ -1,0 +1,1 @@
+lib/graph/paths.ml: Dijkstra Format Graph Int List Set

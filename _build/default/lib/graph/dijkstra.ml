@@ -1,0 +1,78 @@
+type result = {
+  graph : Graph.t;
+  src : int;
+  dist : float array;
+  parent : int array;
+  parent_edge : int array;
+}
+
+let always _ = true
+
+let never _ = false
+
+let run ?(node_ok = always) ?(edge_ok = always) ?(absorb = never) g ~source =
+  let n = Graph.node_count g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra.run: source out of range";
+  if not (node_ok source) then invalid_arg "Dijkstra.run: source is filtered out";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(source) <- 0.0;
+  Heap.add heap 0.0 source;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          (* An absorbing node terminates the search along its branch: it can
+             be a shortest-path target but contributes no further relaxation. *)
+          if u = source || not (absorb u) then
+            let relax (v, eid) =
+              if node_ok v && edge_ok eid && not settled.(v) then begin
+                let e = Graph.edge g eid in
+                let d' = d +. e.Graph.delay in
+                if d' < dist.(v) then begin
+                  dist.(v) <- d';
+                  parent.(v) <- u;
+                  parent_edge.(v) <- eid;
+                  Heap.add heap d' v
+                end
+              end
+            in
+            List.iter relax (Graph.neighbors g u)
+        end;
+        loop ()
+  in
+  loop ();
+  { graph = g; src = source; dist; parent; parent_edge }
+
+let source r = r.src
+
+let distance r v = if r.dist.(v) = infinity then None else Some r.dist.(v)
+
+let reachable r v = r.dist.(v) <> infinity
+
+let parent r v = if r.parent.(v) < 0 then None else Some r.parent.(v)
+
+let path_rev r v =
+  if r.dist.(v) = infinity then None
+  else begin
+    let rec walk v nodes edges =
+      if v = r.src then (v :: nodes, edges)
+      else walk r.parent.(v) (v :: nodes) (r.parent_edge.(v) :: edges)
+    in
+    Some (walk v [] [])
+  end
+
+let path_nodes r v = Option.map fst (path_rev r v)
+
+let path_edges r v = Option.map snd (path_rev r v)
+
+let shortest_path ?node_ok ?edge_ok g ~src ~dst =
+  let r = run ?node_ok ?edge_ok g ~source:src in
+  match path_rev r dst with
+  | None -> None
+  | Some (nodes, edges) -> Some (r.dist.(dst), nodes, edges)

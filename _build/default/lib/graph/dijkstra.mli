@@ -1,0 +1,47 @@
+(** Single-source shortest paths over edge delays, with the filtered and
+    absorbing variants the SMRP protocol needs.
+
+    - [node_ok] / [edge_ok] restrict the search to the surviving part of the
+      graph under a failure scenario (a node or edge that fails is filtered
+      out rather than removed, so edge and node ids stay stable).
+    - [absorb] marks nodes that may be *reached* but never *relaxed through*
+      (except when one is the source).  Running with [absorb = on-tree] from a
+      joining node yields, for every on-tree node [R], the shortest path from
+      the joiner to [R] whose interior avoids the tree — i.e. the unique
+      candidate connection for which [R] is the true merge point (paper
+      footnote 4). *)
+
+type result
+
+val run :
+  ?node_ok:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  ?absorb:(int -> bool) ->
+  Graph.t ->
+  source:int ->
+  result
+
+val source : result -> int
+
+val distance : result -> int -> float option
+(** Shortest-path delay, [None] if unreachable. *)
+
+val reachable : result -> int -> bool
+
+val parent : result -> int -> int option
+(** Predecessor on the shortest path tree. *)
+
+val path_nodes : result -> int -> int list option
+(** Node sequence from the source to the target, inclusive. *)
+
+val path_edges : result -> int -> int list option
+(** Edge-id sequence from the source to the target. *)
+
+val shortest_path :
+  ?node_ok:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  (float * int list * int list) option
+(** [(delay, nodes, edge ids)] of one shortest [src]→[dst] path. *)

@@ -1,0 +1,88 @@
+type edge = { id : int; u : int; v : int; delay : float; cost : float }
+
+type t = {
+  n : int;
+  mutable edges : edge array;
+  mutable edge_count : int;
+  adj : (int * int) list array; (* node -> (neighbor, edge id), reversed order *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative node count";
+  { n; edges = [||]; edge_count = 0; adj = Array.make n [] }
+
+let node_count g = g.n
+
+let edge_count g = g.edge_count
+
+let check_node g u name =
+  if u < 0 || u >= g.n then invalid_arg (Printf.sprintf "Graph.%s: node %d out of range" name u)
+
+let mem_edge g u v =
+  check_node g u "mem_edge";
+  check_node g v "mem_edge";
+  List.exists (fun (w, _) -> w = v) g.adj.(u)
+
+let add_edge ?cost g u v delay =
+  check_node g u "add_edge";
+  check_node g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if mem_edge g u v then invalid_arg "Graph.add_edge: duplicate edge";
+  if delay <= 0.0 then invalid_arg "Graph.add_edge: delay must be positive";
+  let cost = match cost with Some c -> c | None -> delay in
+  let id = g.edge_count in
+  let e = { id; u; v; delay; cost } in
+  let capacity = Array.length g.edges in
+  if id = capacity then begin
+    let edges' = Array.make (max 16 (2 * capacity)) e in
+    Array.blit g.edges 0 edges' 0 id;
+    g.edges <- edges'
+  end;
+  g.edges.(id) <- e;
+  g.edge_count <- id + 1;
+  g.adj.(u) <- (v, id) :: g.adj.(u);
+  g.adj.(v) <- (u, id) :: g.adj.(v);
+  id
+
+let edge g id =
+  if id < 0 || id >= g.edge_count then invalid_arg "Graph.edge: bad edge id";
+  g.edges.(id)
+
+let edge_between g u v =
+  check_node g u "edge_between";
+  check_node g v "edge_between";
+  match List.find_opt (fun (w, _) -> w = v) g.adj.(u) with
+  | Some (_, id) -> Some g.edges.(id)
+  | None -> None
+
+let other_end e u =
+  if e.u = u then e.v
+  else if e.v = u then e.u
+  else invalid_arg "Graph.other_end: node not an endpoint"
+
+let neighbors g u =
+  check_node g u "neighbors";
+  List.rev g.adj.(u)
+
+let degree g u =
+  check_node g u "degree";
+  List.length g.adj.(u)
+
+let average_degree g = if g.n = 0 then 0.0 else 2.0 *. float_of_int g.edge_count /. float_of_int g.n
+
+let iter_edges f g =
+  for id = 0 to g.edge_count - 1 do
+    f g.edges.(id)
+  done
+
+let fold_edges f init g =
+  let acc = ref init in
+  iter_edges (fun e -> acc := f !acc e) g;
+  !acc
+
+let total_cost g = fold_edges (fun acc e -> acc +. e.cost) 0.0 g
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph: %d nodes, %d edges" g.n g.edge_count;
+  iter_edges (fun e -> Format.fprintf ppf "@,  %d -- %d (delay %g, cost %g)" e.u e.v e.delay e.cost) g;
+  Format.fprintf ppf "@]"

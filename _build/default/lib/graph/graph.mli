@@ -1,0 +1,59 @@
+(** Undirected weighted graphs.
+
+    Nodes are the integers [0 .. node_count - 1].  Each edge carries a
+    propagation [delay] (the paper's link metric, used both for shortest paths
+    and end-to-end delay) and a [cost] (used for the tree-cost metric; equal to
+    [delay] unless set otherwise, matching §4.2 of the paper where link cost
+    and delay coincide).
+
+    Edges are identified by a dense integer id, which lets failure scenarios
+    and path computations use O(1) bitset membership tests. *)
+
+type edge = private {
+  id : int;
+  u : int;
+  v : int;
+  delay : float;
+  cost : float;
+}
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph over nodes [0 .. n-1]. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val add_edge : ?cost:float -> t -> int -> int -> float -> int
+(** [add_edge g u v delay] inserts the undirected edge [(u, v)] and returns its
+    id.  [cost] defaults to [delay].  Self-loops and duplicate edges are
+    rejected with [Invalid_argument]. *)
+
+val edge : t -> int -> edge
+(** Edge by id. *)
+
+val edge_between : t -> int -> int -> edge option
+(** The edge joining two nodes, if any. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val other_end : edge -> int -> int
+(** [other_end e u] is the endpoint of [e] distinct from [u]. *)
+
+val neighbors : t -> int -> (int * int) list
+(** [neighbors g u] lists [(v, edge_id)] pairs, in insertion order. *)
+
+val degree : t -> int -> int
+
+val average_degree : t -> float
+
+val iter_edges : (edge -> unit) -> t -> unit
+
+val fold_edges : ('a -> edge -> 'a) -> 'a -> t -> 'a
+
+val total_cost : t -> float
+(** Sum of all edge costs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Array-backed binary min-heap with [float] priorities and monotone
+    insertion order as the tie-break, so equal-priority elements pop in
+    insertion order (deterministic Dijkstra and simulator event queues). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> float -> 'a -> unit
+(** [add h prio x] inserts [x] with priority [prio]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element, ties broken by insertion
+    order. *)
+
+val peek_min : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

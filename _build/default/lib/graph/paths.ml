@@ -1,0 +1,110 @@
+type t = { delay : float; nodes : int list; edges : int list }
+
+let of_edges g ~src edge_ids =
+  let step (node, delay, nodes) eid =
+    let e = Graph.edge g eid in
+    let next = Graph.other_end e node in
+    (next, delay +. e.Graph.delay, next :: nodes)
+  in
+  let last, delay, rev_nodes = List.fold_left step (src, 0.0, [ src ]) edge_ids in
+  ignore last;
+  { delay; nodes = List.rev rev_nodes; edges = edge_ids }
+
+let delay_of_edges g edge_ids =
+  List.fold_left (fun acc eid -> acc +. (Graph.edge g eid).Graph.delay) 0.0 edge_ids
+
+let cost_of_edges g edge_ids =
+  List.fold_left (fun acc eid -> acc +. (Graph.edge g eid).Graph.cost) 0.0 edge_ids
+
+let concat p q =
+  (match (List.rev p.nodes, q.nodes) with
+  | last :: _, first :: _ when last = first -> ()
+  | _ -> invalid_arg "Paths.concat: endpoints do not meet");
+  let q_tail = match q.nodes with [] -> [] | _ :: tl -> tl in
+  { delay = p.delay +. q.delay; nodes = p.nodes @ q_tail; edges = p.edges @ q.edges }
+
+let is_simple p =
+  let module S = Set.Make (Int) in
+  let rec check seen = function
+    | [] -> true
+    | v :: rest -> (not (S.mem v seen)) && check (S.add v seen) rest
+  in
+  check S.empty p.nodes
+
+let pp ppf p =
+  Format.fprintf ppf "@[<h>[delay %g:" p.delay;
+  List.iter (fun v -> Format.fprintf ppf " %d" v) p.nodes;
+  Format.fprintf ppf "]@]"
+
+(* Yen's k-shortest loopless paths.  Candidate paths are kept in a sorted
+   list; graph filtering is expressed through the composable [node_ok] /
+   [edge_ok] predicates so no copy of the graph is ever made. *)
+let yen ?(k = 3) ?(node_ok = fun _ -> true) ?(edge_ok = fun _ -> true) g ~src ~dst =
+  if k <= 0 then []
+  else
+    match Dijkstra.shortest_path ~node_ok ~edge_ok g ~src ~dst with
+    | None -> []
+    | Some (delay, nodes, edges) ->
+        let first = { delay; nodes; edges } in
+        let accepted = ref [ first ] in
+        let candidates = ref [] in
+        let add_candidate p =
+          if not (List.exists (fun q -> q.edges = p.edges) !candidates) then
+            candidates := p :: !candidates
+        in
+        let module S = Set.Make (Int) in
+        let rec take_prefix i nodes edges =
+          (* First i edges (hence i+1 nodes) of the path. *)
+          match (i, nodes, edges) with
+          | 0, n :: _, _ -> ([ n ], [])
+          | _, n :: ns, e :: es ->
+              let pn, pe = take_prefix (i - 1) ns es in
+              (n :: pn, e :: pe)
+          | _ -> invalid_arg "Paths.yen: prefix out of range"
+        in
+        (try
+           for _ = 2 to k do
+             let prev = List.hd !accepted in
+             let prev_len = List.length prev.edges in
+             for i = 0 to prev_len - 1 do
+               let root_nodes, root_edges = take_prefix i prev.nodes prev.edges in
+               let spur = List.nth prev.nodes i in
+               (* Edges leaving the spur node along any accepted path sharing
+                  this root are banned, as are the root's interior nodes. *)
+               let rec prefix_eq i pe re =
+                 if i = 0 then true
+                 else
+                   match (pe, re) with
+                   | e1 :: pe', e2 :: re' -> e1 = e2 && prefix_eq (i - 1) pe' re'
+                   | _ -> false
+               in
+               let banned_edges =
+                 List.filter_map
+                   (fun p -> if prefix_eq i p.edges root_edges then List.nth_opt p.edges i else None)
+                   !accepted
+               in
+               let module ES = Set.Make (Int) in
+               let banned = ES.of_list banned_edges in
+               let root_interior = S.of_list (List.filter (fun v -> v <> spur) root_nodes) in
+               let node_ok' v = node_ok v && not (S.mem v root_interior) in
+               let edge_ok' e = edge_ok e && not (ES.mem e banned) in
+               match Dijkstra.shortest_path ~node_ok:node_ok' ~edge_ok:edge_ok' g ~src:spur ~dst with
+               | None -> ()
+               | Some (sd, sn, se) ->
+                   let root =
+                     { delay = delay_of_edges g root_edges; nodes = root_nodes; edges = root_edges }
+                   in
+                   let total = concat root { delay = sd; nodes = sn; edges = se } in
+                   if is_simple total then add_candidate total
+             done;
+             let remaining =
+               List.filter (fun c -> not (List.exists (fun a -> a.edges = c.edges) !accepted)) !candidates
+             in
+             match List.sort (fun a b -> compare a.delay b.delay) remaining with
+             | [] -> raise Exit
+             | best :: _ ->
+                 candidates := List.filter (fun c -> c.edges <> best.edges) !candidates;
+                 accepted := best :: !accepted
+           done
+         with Exit -> ());
+        List.rev !accepted

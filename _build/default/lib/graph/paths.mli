@@ -1,0 +1,35 @@
+(** Path values and multi-path computations. *)
+
+type t = {
+  delay : float;  (** Sum of edge delays along the path. *)
+  nodes : int list;  (** Node sequence, endpoints inclusive. *)
+  edges : int list;  (** Edge-id sequence, one shorter than [nodes]. *)
+}
+
+val of_edges : Graph.t -> src:int -> int list -> t
+(** Rebuild a path value by walking the edge ids from [src].
+    Raises [Invalid_argument] if the edges do not chain. *)
+
+val delay_of_edges : Graph.t -> int list -> float
+
+val cost_of_edges : Graph.t -> int list -> float
+
+val concat : t -> t -> t
+(** [concat p q] joins two paths where [p] ends at [q]'s start. *)
+
+val is_simple : t -> bool
+(** No repeated node. *)
+
+val pp : Format.formatter -> t -> unit
+
+val yen :
+  ?k:int ->
+  ?node_ok:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  Graph.t ->
+  src:int ->
+  dst:int ->
+  t list
+(** [yen ~k g ~src ~dst] lists up to [k] (default 3) loopless shortest paths in
+    nondecreasing delay order (Yen's algorithm).  Used by the simulator's
+    restoration search and by tests as an oracle for detour enumeration. *)

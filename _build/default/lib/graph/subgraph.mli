@@ -1,0 +1,18 @@
+(** Induced-subgraph extraction with node renumbering, used by the
+    hierarchical recovery architecture to confine a recovery domain's
+    computations to its own routers. *)
+
+type t = {
+  graph : Graph.t;  (** The induced subgraph over the kept nodes. *)
+  to_sub : int array;  (** Original node → subgraph node, [-1] if dropped. *)
+  from_sub : int array;  (** Subgraph node → original node. *)
+  edge_from_sub : int array;  (** Subgraph edge id → original edge id. *)
+}
+
+val extract : Graph.t -> keep:(int -> bool) -> t
+(** [extract g ~keep] is the subgraph induced by the nodes satisfying [keep];
+    every edge of [g] with both endpoints kept is copied (same delay/cost). *)
+
+val node_to_sub : t -> int -> int option
+
+val node_from_sub : t -> int -> int

@@ -1,0 +1,1 @@
+lib/metrics/table.ml: Array Buffer Float Format List Printf String

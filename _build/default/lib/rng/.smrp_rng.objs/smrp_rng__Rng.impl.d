@@ -1,0 +1,1 @@
+lib/rng/rng.ml: Array Int Int64 Set

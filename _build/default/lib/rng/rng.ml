@@ -1,0 +1,69 @@
+(* SplitMix64.  Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014.  The mixing constants below
+   are the published ones. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = mix64 (bits64 t) }
+
+(* Rejection sampling over the low bits keeps the draw exactly uniform. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = v mod bound in
+    (* Discard draws from the final partial block to avoid modulo bias. *)
+    if v - r > max_int - bound + 1 then draw () else r
+  in
+  draw ()
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  (* Floyd's algorithm: O(k) expected insertions, exact uniformity. *)
+  let module S = Set.Make (Int) in
+  let chosen = ref S.empty in
+  for j = n - k to n - 1 do
+    let v = int t (j + 1) in
+    chosen := if S.mem v !chosen then S.add j !chosen else S.add v !chosen
+  done;
+  S.elements !chosen
+
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. rate

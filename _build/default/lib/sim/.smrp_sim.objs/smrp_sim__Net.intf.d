@@ -1,0 +1,1 @@
+lib/sim/net.mli: Engine Smrp_core Smrp_graph Smrp_rng

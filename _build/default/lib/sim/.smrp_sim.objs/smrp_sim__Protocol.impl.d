@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Array Engine Hashtbl List Net Option Smrp_core Smrp_graph

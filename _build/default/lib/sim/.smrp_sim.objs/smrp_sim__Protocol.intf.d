@@ -1,0 +1,1 @@
+lib/sim/protocol.mli: Engine Net Smrp_core Smrp_graph

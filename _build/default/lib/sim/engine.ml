@@ -1,0 +1,64 @@
+module Heap = Smrp_graph.Heap
+
+type handle = { mutable cancelled : bool }
+
+type event = { handle : handle; action : unit -> unit }
+
+type t = { mutable clock : float; queue : event Heap.t }
+
+let create () = { clock = 0.0; queue = Heap.create () }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let handle = { cancelled = false } in
+  Heap.add t.queue time { handle; action };
+  handle
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel handle = handle.cancelled <- true
+
+let every t ~period ?(jitter = fun () -> 0.0) action =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  (* One outer handle controls the whole series; each firing re-arms. *)
+  let master = { cancelled = false } in
+  let rec arm () =
+    let delay = Float.max 0.0 (period +. jitter ()) in
+    ignore
+      (schedule t ~delay (fun () ->
+           if not master.cancelled then begin
+             action ();
+             if not master.cancelled then arm ()
+           end))
+  in
+  arm ();
+  master
+
+let step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some (time, ev) ->
+      t.clock <- time;
+      if not ev.handle.cancelled then ev.action ();
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some limit -> (
+        match Heap.peek_min t.queue with Some (time, _) -> time <= limit | None -> false)
+  in
+  while continue () && step t do
+    ()
+  done;
+  match until with
+  | Some limit when Heap.length t.queue > 0 -> t.clock <- Float.max t.clock limit
+  | Some limit when t.clock < limit -> t.clock <- limit
+  | _ -> ()
+
+let pending t = Heap.length t.queue

@@ -1,0 +1,34 @@
+(** Discrete-event simulation engine: a virtual clock and a time-ordered
+    queue of callbacks.  Events at equal times fire in scheduling order, so
+    runs are deterministic. *)
+
+type t
+
+type handle
+(** A cancellable scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> float
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  [delay >= 0]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; [time] must not be in the past. *)
+
+val cancel : handle -> unit
+(** Idempotent; cancelling a fired event is a no-op. *)
+
+val every : t -> period:float -> ?jitter:(unit -> float) -> (unit -> unit) -> handle
+(** [every t ~period f] runs [f] now + period, then each period (+ optional
+    jitter per firing) until the returned handle is cancelled. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order; stops when the queue empties or the clock
+    would pass [until]. *)
+
+val step : t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val pending : t -> int

@@ -1,0 +1,79 @@
+module Graph = Smrp_graph.Graph
+
+type 'msg t = {
+  engine : Engine.t;
+  graph : Graph.t;
+  handler : 'msg t -> at:int -> from:int -> 'msg -> unit;
+  link_down : bool array;
+  node_down : bool array;
+  mutable loss : (Smrp_rng.Rng.t * float) option;
+  mutable frames_sent : int;
+  mutable frames_lost : int;
+}
+
+let create engine graph ~handler =
+  {
+    engine;
+    graph;
+    handler;
+    link_down = Array.make (Graph.edge_count graph) false;
+    node_down = Array.make (Graph.node_count graph) false;
+    loss = None;
+    frames_sent = 0;
+    frames_lost = 0;
+  }
+
+let engine t = t.engine
+
+let graph t = t.graph
+
+let link_up t eid = not t.link_down.(eid)
+
+let node_up t v = not t.node_down.(v)
+
+let send t ~src ~dst msg =
+  match Graph.edge_between t.graph src dst with
+  | None -> invalid_arg "Net.send: nodes not adjacent"
+  | Some e ->
+      let eid = e.Graph.id in
+      if t.link_down.(eid) || t.node_down.(src) || t.node_down.(dst) then false
+      else begin
+        t.frames_sent <- t.frames_sent + 1;
+        let lost =
+          match t.loss with
+          | Some (rng, rate) when Smrp_rng.Rng.float rng 1.0 < rate ->
+              t.frames_lost <- t.frames_lost + 1;
+              true
+          | _ -> false
+        in
+        if not lost then
+          ignore
+            (Engine.schedule t.engine ~delay:e.Graph.delay (fun () ->
+                 (* The wire may have gone down while the frame was in
+                    flight. *)
+                 if (not t.link_down.(eid)) && (not t.node_down.(src)) && not t.node_down.(dst)
+                 then t.handler t ~at:dst ~from:src msg));
+        true
+      end
+
+let fail_link t eid = t.link_down.(eid) <- true
+
+let fail_node t v = t.node_down.(v) <- true
+
+let restore_link t eid = t.link_down.(eid) <- false
+
+let restore_node t v = t.node_down.(v) <- false
+
+let as_failure t =
+  let downs = ref [] in
+  Array.iteri (fun i d -> if d then downs := Smrp_core.Failure.Link i :: !downs) t.link_down;
+  Array.iteri (fun v d -> if d then downs := Smrp_core.Failure.Node v :: !downs) t.node_down;
+  match !downs with [ f ] -> Some f | _ -> None
+
+let set_loss t ~rng ~rate =
+  if rate < 0.0 || rate >= 1.0 then invalid_arg "Net.set_loss: rate out of [0, 1)";
+  t.loss <- Some (rng, rate)
+
+let frames_sent t = t.frames_sent
+
+let frames_lost t = t.frames_lost

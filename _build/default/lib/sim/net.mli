@@ -1,0 +1,54 @@
+(** Message-passing network over a graph: unicast frames between neighbours
+    with per-link propagation delay, plus link/node failure injection.
+
+    Frames in flight when their link or an endpoint fails are dropped at
+    delivery time — the receiving interface is down, which is exactly how a
+    persistent failure manifests to the protocol above. *)
+
+type 'msg t
+
+val create :
+  Engine.t ->
+  Smrp_graph.Graph.t ->
+  handler:('msg t -> at:int -> from:int -> 'msg -> unit) ->
+  'msg t
+(** [handler] is invoked at delivery time on the receiving node. *)
+
+val engine : 'msg t -> Engine.t
+
+val graph : 'msg t -> Smrp_graph.Graph.t
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> bool
+(** Send over the (existing) link [src]–[dst]; returns whether the frame was
+    put on the wire (i.e. the link and both endpoints were up at send time).
+    Raises [Invalid_argument] if the nodes are not adjacent. *)
+
+val fail_link : 'msg t -> int -> unit
+(** Take an edge down (by id). *)
+
+val fail_node : 'msg t -> int -> unit
+(** Kill a router: all its incident links stop delivering. *)
+
+val restore_link : 'msg t -> int -> unit
+
+val restore_node : 'msg t -> int -> unit
+
+val link_up : 'msg t -> int -> bool
+
+val node_up : 'msg t -> int -> bool
+
+val as_failure : 'msg t -> Smrp_core.Failure.t option
+(** The current failure scenario, when exactly one component is down —
+    convenience for driving the core library's detour computations from
+    simulator state. *)
+
+val set_loss : 'msg t -> rng:Smrp_rng.Rng.t -> rate:float -> unit
+(** Bernoulli frame loss: each frame is dropped at delivery with probability
+    [rate] (drawn from [rng], so runs stay reproducible).  Models the
+    transient losses the soft-state machinery (§3.2) must absorb. *)
+
+val frames_sent : 'msg t -> int
+(** Total frames accepted onto a wire: the control-overhead metric. *)
+
+val frames_lost : 'msg t -> int
+(** Frames dropped by the loss process (not by failures). *)

@@ -1,0 +1,577 @@
+module Graph = Smrp_graph.Graph
+module Tree = Smrp_core.Tree
+module Spf = Smrp_core.Spf
+module Smrp = Smrp_core.Smrp
+module Failure = Smrp_core.Failure
+module Recovery = Smrp_core.Recovery
+module Reshape = Smrp_core.Reshape
+
+type recovery_strategy = Local | Global
+
+type join_mode = Oracle | Query_scheme
+
+type config = {
+  hello_period : float;
+  hello_dead_factor : float;
+  refresh_period : float;
+  hold_factor : float;
+  data_period : float;
+  starvation_factor : float;
+  ospf_convergence : float;
+  strategy : recovery_strategy;
+  join_mode : join_mode;
+  query_timeout : float;
+  reshape_period : float option;
+      (* Condition-II timer (§3.2.3); [None] disables reshaping. *)
+  d_thresh : float;
+}
+
+let default_config =
+  {
+    hello_period = 1.0;
+    hello_dead_factor = 3.5;
+    refresh_period = 5.0;
+    hold_factor = 3.0;
+    data_period = 0.1;
+    starvation_factor = 5.0;
+    ospf_convergence = 5.0;
+    strategy = Local;
+    join_mode = Oracle;
+    query_timeout = 2.0;
+    reshape_period = None;
+    d_thresh = 0.3;
+  }
+
+type msg =
+  | Hello
+  | Join_req of { requester : int; remaining : int list }
+  | Query of { requester : int; path : int list (* requester-first, including self hops *) }
+  | Query_resp of { shr : int; tree_delay : float; path : int list; back : int list }
+  | Refresh
+  | Prune
+  | Data of { seq : int }
+
+type node_state = {
+  mutable member : bool;
+  mutable parent : int option;
+  children : (int, float) Hashtbl.t; (* child -> soft-state expiry *)
+  hello_seen : (int, float) Hashtbl.t;
+  mutable last_data : float;
+  mutable last_forwarded_seq : int;
+  mutable data_received : int;
+  mutable recovering : bool;
+  mutable query_responses : (int * float * int list) list;
+      (* (SHR, merge tree delay, path requester..merge) collected while a
+         query-scheme join is pending *)
+  mutable attach : int list; (* stored hops towards the merge node, for
+                                 periodic join refresh (PIM-style) *)
+  mutable disrupted_at : float option;
+  mutable last_attempt : float;
+  mutable restored_at : float option;
+}
+
+type member_report = {
+  member : int;
+  detected : float option;
+  restored : float option;
+  data_received : int;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  graph : Graph.t;
+  source : int;
+  mutable net : msg Net.t option; (* set right after creation *)
+  nodes : node_state array;
+  mutable tree : Tree.t;
+  mutable failure : Failure.t option;
+  mutable failure_time : float;
+  mutable control_sent : int;
+  mutable data_sent : int;
+  mutable hello_sent : int;
+  mutable query_sent : int;
+  mutable join_sent : int;
+  mutable refresh_sent : int;
+  mutable prune_sent : int;
+  mutable next_seq : int;
+}
+
+let net t = Option.get t.net
+
+let tree t = t.tree
+
+let fresh_node () =
+  {
+    member = false;
+    parent = None;
+    children = Hashtbl.create 4;
+    hello_seen = Hashtbl.create 4;
+    last_data = neg_infinity;
+    last_forwarded_seq = -1;
+    data_received = 0;
+    recovering = false;
+    query_responses = [];
+    attach = [];
+    disrupted_at = None;
+    last_attempt = neg_infinity;
+    restored_at = None;
+  }
+
+let send t ~src ~dst msg =
+  (match msg with
+  | Data _ -> t.data_sent <- t.data_sent + 1
+  | Hello ->
+      t.control_sent <- t.control_sent + 1;
+      t.hello_sent <- t.hello_sent + 1
+  | Query _ | Query_resp _ ->
+      t.control_sent <- t.control_sent + 1;
+      t.query_sent <- t.query_sent + 1
+  | Join_req _ ->
+      t.control_sent <- t.control_sent + 1;
+      t.join_sent <- t.join_sent + 1
+  | Refresh ->
+      t.control_sent <- t.control_sent + 1;
+      t.refresh_sent <- t.refresh_sent + 1
+  | Prune ->
+      t.control_sent <- t.control_sent + 1;
+      t.prune_sent <- t.prune_sent + 1);
+  ignore (Net.send (net t) ~src ~dst msg)
+
+let hold_time t = t.config.hold_factor *. t.config.refresh_period
+
+(* Distributed on-tree test: the node believes it has an upstream. *)
+let dist_on_tree t v = v = t.source || t.nodes.(v).parent <> None
+
+let rec maybe_prune t v =
+  let st = t.nodes.(v) in
+  if v <> t.source && (not st.member) && Hashtbl.length st.children = 0 then begin
+    match st.parent with
+    | Some p ->
+        st.parent <- None;
+        send t ~src:v ~dst:p Prune
+    | None -> ()
+  end
+
+and handle t ~at ~from msg =
+  let st = t.nodes.(at) in
+  let now = Engine.now t.engine in
+  match msg with
+  | Hello -> Hashtbl.replace st.hello_seen from now
+  | Refresh -> Hashtbl.replace st.children from (now +. hold_time t)
+  | Prune ->
+      Hashtbl.remove st.children from;
+      maybe_prune t at
+  | Query { requester; path } ->
+      if at <> requester && not (List.mem at path) then begin
+        if dist_on_tree t at && Tree.is_on_tree t.tree at then begin
+          (* First on-tree node met: answer with the (deferred, 3.3.2) SHR
+             and route the response back along the traversed path. *)
+          match List.rev path with
+          | back_first :: back_rest ->
+              send t ~src:at ~dst:back_first
+                (Query_resp
+                   {
+                     shr = Tree.shr t.tree at;
+                     tree_delay = Tree.delay_to_source t.tree at;
+                     path = path @ [ at ];
+                     back = back_rest;
+                   })
+          | [] -> ()
+        end
+        else begin
+          (* Forward along our unicast next hop towards the source. *)
+          match Smrp_graph.Dijkstra.shortest_path t.graph ~src:at ~dst:t.source with
+          | Some (_, _ :: next :: _, _) when (not (List.mem next path)) && next <> requester ->
+              send t ~src:at ~dst:next (Query { requester; path = path @ [ at ] })
+          | _ -> ()
+        end
+      end
+  | Query_resp { shr; tree_delay; path; back } -> begin
+      match back with
+      | next :: rest -> send t ~src:at ~dst:next (Query_resp { shr; tree_delay; path; back = rest })
+      | [] -> st.query_responses <- (shr, tree_delay, path) :: st.query_responses
+    end
+  | Join_req { requester; remaining } -> begin
+      Hashtbl.replace st.children from (now +. hold_time t);
+      match remaining with
+      | [] -> () (* we are the merge node *)
+      | next :: rest ->
+          (* Forward when we have no upstream — or when our upstream is
+             stale (no data for a starvation window): a disconnected relay
+             must adopt the detour rather than black-hole the re-join. *)
+          let starving =
+            now -. st.last_data > t.config.starvation_factor *. t.config.data_period
+          in
+          if (not (dist_on_tree t at)) || (at <> t.source && starving) then begin
+            st.parent <- Some next;
+            send t ~src:at ~dst:next (Join_req { requester; remaining = rest })
+          end
+    end
+  | Data { seq } ->
+      st.last_data <- now;
+      if st.member then begin
+        st.data_received <- st.data_received + 1;
+        match (st.disrupted_at, st.restored_at) with
+        | Some _, None ->
+            st.restored_at <- Some now;
+            st.recovering <- false
+        | _ -> ()
+      end;
+      (* Forward fresh packets only: duplicates (transient double
+         attachment) and loops die here. *)
+      if seq > st.last_forwarded_seq then begin
+        st.last_forwarded_seq <- seq;
+        let expired = ref [] in
+        Hashtbl.iter
+          (fun child expiry ->
+            if expiry < now then expired := child :: !expired
+            else if child <> from then send t ~src:at ~dst:child (Data { seq }))
+          st.children;
+        List.iter (Hashtbl.remove st.children) !expired;
+        if !expired <> [] then maybe_prune t at
+      end
+
+let create ?(config = default_config) engine graph ~source =
+  let t =
+    {
+      engine;
+      config;
+      graph;
+      source;
+      net = None;
+      nodes = Array.init (Graph.node_count graph) (fun _ -> fresh_node ());
+      tree = Tree.create graph ~source;
+      failure = None;
+      failure_time = nan;
+      control_sent = 0;
+      data_sent = 0;
+      hello_sent = 0;
+      query_sent = 0;
+      join_sent = 0;
+      refresh_sent = 0;
+      prune_sent = 0;
+      next_seq = 0;
+    }
+  in
+  let net = Net.create engine graph ~handler:(fun _ ~at ~from msg -> handle t ~at ~from msg) in
+  t.net <- Some net;
+  t
+
+(* Issue a Join_req along an attach path given merge-node-first (as the core
+   library produces them). *)
+let signal_join t ~requester ~attach_nodes =
+  match List.rev attach_nodes with
+  | [] | [ _ ] -> () (* already attached: nothing to signal *)
+  | me :: next :: rest ->
+      assert (me = requester);
+      let st = t.nodes.(requester) in
+      if st.parent = None && requester <> t.source then st.parent <- Some next;
+      st.attach <- next :: rest;
+      send t ~src:requester ~dst:next (Join_req { requester; remaining = rest })
+
+(* Full-knowledge path selection (§3.2.2): min-SHR for SMRP, unicast
+   shortest path for the PIM baseline. *)
+let oracle_join t m =
+  let attach_nodes, attach_edges =
+    match t.config.strategy with
+    | Local -> begin
+        if Tree.is_on_tree t.tree m then ([ m ], [])
+        else
+          match Smrp.spf_distance t.tree m with
+          | None -> invalid_arg "Protocol.join: source unreachable"
+          | Some spf_dist -> begin
+              match
+                Smrp.select ~d_thresh:t.config.d_thresh ~spf_distance:spf_dist
+                  (Smrp.candidates t.tree ~joiner:m)
+              with
+              | Some c -> (c.Smrp.attach_nodes, c.Smrp.attach_edges)
+              | None -> invalid_arg "Protocol.join: no connection to the tree"
+            end
+      end
+    | Global -> Spf.attach_path t.tree m
+  in
+  (match (attach_nodes, attach_edges) with
+  | [ _ ], [] -> ()
+  | nodes, edges -> Tree.graft t.tree ~nodes ~edges);
+  if not (Tree.is_member t.tree m) then Tree.add_member t.tree m;
+  signal_join t ~requester:m ~attach_nodes
+
+(* Turn a collected query response into a candidate the selection criterion
+   understands. *)
+let candidate_of_response t (shr, tree_delay, path) =
+  let rec edges_of = function
+    | a :: (b :: _ as rest) -> (
+        match Graph.edge_between t.graph a b with
+        | Some e -> e.Graph.id :: edges_of rest
+        | None -> invalid_arg "Protocol: query path not a walk")
+    | _ -> []
+  in
+  let edges = edges_of path in
+  let attach_delay =
+    List.fold_left (fun acc eid -> acc +. (Graph.edge t.graph eid).Graph.delay) 0.0 edges
+  in
+  match List.rev path with
+  | merge :: _ ->
+      {
+        Smrp.merge;
+        attach_nodes = List.rev path;
+        attach_edges = List.rev edges;
+        attach_delay;
+        total_delay = attach_delay +. tree_delay;
+        shr;
+      }
+  | [] -> invalid_arg "Protocol: empty query path"
+
+let finalize_query_join t m =
+  let st = t.nodes.(m) in
+  if st.member && st.attach = [] && not (Tree.is_on_tree t.tree m) then begin
+    let responses = st.query_responses in
+    st.query_responses <- [];
+    let graftable c =
+      (* The merge node must still be on-tree and the interior still off-tree
+         (another join may have raced us during the query round trip). *)
+      match c.Smrp.attach_nodes with
+      | merge :: interior_and_self ->
+          Tree.is_on_tree t.tree merge
+          && List.for_all
+               (fun v -> v = m || not (Tree.is_on_tree t.tree v))
+               interior_and_self
+      | [] -> false
+    in
+    let candidates = List.filter graftable (List.map (candidate_of_response t) responses) in
+    match Smrp.spf_distance t.tree m with
+    | None -> ()
+    | Some spf_dist -> (
+        match Smrp.select ~d_thresh:t.config.d_thresh ~spf_distance:spf_dist candidates with
+        | Some c ->
+            Tree.graft t.tree ~nodes:c.Smrp.attach_nodes ~edges:c.Smrp.attach_edges;
+            Tree.add_member t.tree m;
+            signal_join t ~requester:m ~attach_nodes:c.Smrp.attach_nodes
+        | None ->
+            (* No query was answered in time: degrade to the full-knowledge
+               join, as Query.join degrades to SPF in the core library. *)
+            oracle_join t m)
+  end
+
+let join t m =
+  if m = t.source then invalid_arg "Protocol.join: the source cannot join";
+  let st = t.nodes.(m) in
+  if st.member then invalid_arg "Protocol.join: already a member";
+  st.member <- true;
+  st.last_data <- Engine.now t.engine;
+  match t.config.join_mode with
+  | Oracle -> oracle_join t m
+  | Query_scheme ->
+      if Tree.is_on_tree t.tree m then begin
+        if not (Tree.is_member t.tree m) then Tree.add_member t.tree m
+      end
+      else begin
+        st.query_responses <- [];
+        List.iter
+          (fun (nb, _) -> send t ~src:m ~dst:nb (Query { requester = m; path = [ m ] }))
+          (Graph.neighbors t.graph m);
+        ignore
+          (Engine.schedule t.engine ~delay:t.config.query_timeout (fun () ->
+               finalize_query_join t m))
+      end
+
+(* Condition-II reshape at a member (§3.2.3): re-run path selection with the
+   subtree discounted; on a switch, install the new path make-before-break —
+   join the new upstream first, then release the old one. *)
+let reshape_node t r =
+  let st = t.nodes.(r) in
+  if
+    st.member && dist_on_tree t r && r <> t.source && (not st.recovering)
+    && t.failure = None
+    && Tree.is_on_tree t.tree r
+  then begin
+    let old_parent = st.parent in
+    if Reshape.try_reshape ~d_thresh:t.config.d_thresh t.tree r then begin
+      match Tree.path_to_source t.tree r with
+      | _ :: (next :: _ as rest) ->
+          st.parent <- Some next;
+          st.attach <- rest;
+          send t ~src:r ~dst:next (Join_req { requester = r; remaining = List.tl rest });
+          (match old_parent with
+          | Some p when p <> next ->
+              (* Break after make: hold the old branch until the join has
+                 propagated up the new path and data has flowed back down —
+                 a full round trip at the new path's delay, plus margin. *)
+              let round_trip = 2.0 *. Tree.delay_to_source t.tree r in
+              ignore
+                (Engine.schedule t.engine
+                   ~delay:(round_trip +. (2.0 *. t.config.data_period))
+                   (fun () -> send t ~src:r ~dst:p Prune))
+          | _ -> ())
+      | _ -> ()
+    end
+  end
+
+let leave t m =
+  let st = t.nodes.(m) in
+  if not st.member then invalid_arg "Protocol.leave: not a member";
+  st.member <- false;
+  st.attach <- [];
+  maybe_prune t m;
+  if Tree.is_member t.tree m then Tree.remove_member t.tree m
+
+let recover_member t m =
+  let st = t.nodes.(m) in
+  let f = Option.get t.failure in
+  let detour =
+    match t.config.strategy with
+    | Local -> Recovery.local_detour t.tree f ~member:m
+    | Global -> Recovery.global_detour t.tree f ~member:m
+  in
+  match detour with
+  | None -> () (* isolated: stays disrupted *)
+  | Some d ->
+      (match d.Recovery.path_edges with
+      | [] -> () (* already re-attached through an earlier repair *)
+      | _ ->
+          Tree.graft t.tree
+            ~nodes:(List.rev d.Recovery.path_nodes)
+            ~edges:(List.rev d.Recovery.path_edges));
+      if not (Tree.is_member t.tree m) then Tree.add_member t.tree m;
+      (* Clear the stale upstream so the join installs the detour. *)
+      st.parent <- None;
+      signal_join t ~requester:m ~attach_nodes:(List.rev d.Recovery.path_nodes)
+
+let declare_disrupted t m =
+  let st = t.nodes.(m) in
+  if not st.recovering then begin
+    let now = Engine.now t.engine in
+    st.recovering <- true;
+    st.last_attempt <- now;
+    if st.disrupted_at = None then st.disrupted_at <- Some now;
+    match t.config.strategy with
+    | Local -> recover_member t m
+    | Global ->
+        (* PIM must wait for the unicast tables to reconverge ([25]). *)
+        ignore (Engine.schedule t.engine ~delay:t.config.ospf_convergence (fun () -> recover_member t m))
+  end
+
+let start t =
+  (* Source data stream. *)
+  ignore
+    (Engine.every t.engine ~period:t.config.data_period (fun () ->
+         let seq = t.next_seq in
+         t.next_seq <- seq + 1;
+         let st = t.nodes.(t.source) in
+         st.last_forwarded_seq <- seq;
+         let now = Engine.now t.engine in
+         let expired = ref [] in
+         Hashtbl.iter
+           (fun child expiry ->
+             if expiry < now then expired := child :: !expired
+             else send t ~src:t.source ~dst:child (Data { seq }))
+           st.children;
+         List.iter (Hashtbl.remove st.children) !expired));
+  (* Hellos on every live link. *)
+  ignore
+    (Engine.every t.engine ~period:t.config.hello_period (fun () ->
+         for v = 0 to Graph.node_count t.graph - 1 do
+           if Net.node_up (net t) v then
+             List.iter
+               (fun (nb, eid) -> if Net.link_up (net t) eid then send t ~src:v ~dst:nb Hello)
+               (Graph.neighbors t.graph v)
+         done));
+  (* Refreshes from every attached node towards its parent, and PIM-style
+     periodic join refresh from members along their stored attach paths —
+     this re-instantiates any hop whose state was lost (dropped frames,
+     expired entries). *)
+  ignore
+    (Engine.every t.engine ~period:t.config.refresh_period (fun () ->
+         Array.iteri
+           (fun v (st : node_state) ->
+             (match st.parent with Some p -> send t ~src:v ~dst:p Refresh | None -> ());
+             if st.member then begin
+               match st.attach with
+               | next :: rest -> send t ~src:v ~dst:next (Join_req { requester = v; remaining = rest })
+               | [] -> ()
+             end)
+           t.nodes));
+  (* Condition-II reshaping timer (when enabled). *)
+  (match t.config.reshape_period with
+  | Some period ->
+      ignore
+        (Engine.every t.engine ~period (fun () ->
+             Array.iteri (fun v (st : node_state) -> if st.member then reshape_node t v) t.nodes))
+  | None -> ());
+  (* Starvation detector at members; hello-timeout detector for the node
+     right below a failed link. *)
+  ignore
+    (Engine.every t.engine ~period:t.config.data_period (fun () ->
+         let now = Engine.now t.engine in
+         let starve = t.config.starvation_factor *. t.config.data_period in
+         (* A recovery that has not brought data back well past its expected
+            completion is retried (e.g. it raced another member's repair).
+            Global recoveries only complete after the reconvergence wait. *)
+         let retry_after =
+           (2.0 *. starve)
+           +. (match t.config.strategy with Global -> t.config.ospf_convergence | Local -> 0.0)
+         in
+         Array.iteri
+           (fun v (st : node_state) ->
+             if st.member && t.failure <> None && now -. st.last_data > starve then begin
+               if not st.recovering then declare_disrupted t v
+               else if st.restored_at = None && now -. st.last_attempt > retry_after then begin
+                 st.recovering <- false;
+                 declare_disrupted t v
+               end
+             end)
+           t.nodes));
+  ignore
+    (Engine.every t.engine ~period:t.config.hello_period (fun () ->
+         let now = Engine.now t.engine in
+         let dead = t.config.hello_dead_factor *. t.config.hello_period in
+         Array.iteri
+           (fun v (st : node_state) ->
+             match st.parent with
+             | Some p when st.member && not st.recovering -> begin
+                 match Hashtbl.find_opt st.hello_seen p with
+                 | Some seen when now -. seen > dead && t.failure <> None -> declare_disrupted t v
+                 | _ -> ()
+               end
+             | _ -> ())
+           t.nodes))
+
+let inject_link_failure t eid =
+  if t.failure <> None then invalid_arg "Protocol.inject_link_failure: one failure per run";
+  Net.fail_link (net t) eid;
+  t.failure <- Some (Failure.Link eid);
+  t.failure_time <- Engine.now t.engine;
+  (* Control-plane view: keep only the structure that still receives data;
+     disconnected members re-enter through their recoveries. *)
+  t.tree <- Recovery.surviving_tree t.tree (Failure.Link eid)
+
+let reports t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v (st : node_state) ->
+      if st.member || st.disrupted_at <> None then
+        acc :=
+          {
+            member = v;
+            detected = Option.map (fun d -> d -. t.failure_time) st.disrupted_at;
+            restored = Option.map (fun r -> r -. t.failure_time) st.restored_at;
+            data_received = st.data_received;
+          }
+          :: !acc)
+    t.nodes;
+  List.rev !acc
+
+let control_messages t = t.control_sent
+
+let data_messages t = t.data_sent
+
+let message_breakdown t =
+  [
+    ("hello", t.hello_sent);
+    ("query", t.query_sent);
+    ("join_req", t.join_sent);
+    ("refresh", t.refresh_sent);
+    ("prune", t.prune_sent);
+    ("data", t.data_sent);
+  ]

@@ -1,0 +1,1 @@
+lib/topology/fixtures.ml: Smrp_graph

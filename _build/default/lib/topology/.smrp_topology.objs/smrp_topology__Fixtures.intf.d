@@ -1,0 +1,1 @@
+lib/topology/fixtures.mli: Smrp_graph

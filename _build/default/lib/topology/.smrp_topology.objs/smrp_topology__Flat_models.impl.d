@@ -1,0 +1,1 @@
+lib/topology/flat_models.ml: Array Float List Smrp_graph Smrp_rng Waxman

@@ -1,0 +1,1 @@
+lib/topology/flat_models.mli: Smrp_graph Smrp_rng Waxman

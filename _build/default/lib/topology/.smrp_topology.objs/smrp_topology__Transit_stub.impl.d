@@ -1,0 +1,1 @@
+lib/topology/transit_stub.ml: Array List Smrp_graph Smrp_rng Waxman

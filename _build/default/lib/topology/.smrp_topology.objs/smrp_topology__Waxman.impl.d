@@ -1,0 +1,1 @@
+lib/topology/waxman.ml: Array Float List Smrp_graph Smrp_rng

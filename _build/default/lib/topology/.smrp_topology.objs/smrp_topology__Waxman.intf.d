@@ -1,0 +1,1 @@
+lib/topology/waxman.mli: Smrp_graph Smrp_rng

@@ -1,0 +1,89 @@
+module Graph = Smrp_graph.Graph
+
+type fig1 = { graph : Graph.t; s : int; a : int; b : int; c : int; d : int }
+
+(* Delay choices (see .mli): the SPF tree reaches C and D through A; when
+   L_AD fails, the global detour D-B-S is the new shortest path (delay 3,
+   both links new) while the local detour D-C re-attaches at cost 2, matching
+   the RD_D = 2 example and the "global has shorter end-to-end delay, local
+   has shorter recovery path" narrative. *)
+let fig1 () =
+  let g = Graph.create 5 in
+  let s = 0 and a = 1 and b = 2 and c = 3 and d = 4 in
+  ignore (Graph.add_edge g s a 1.0);
+  ignore (Graph.add_edge g a c 1.0);
+  ignore (Graph.add_edge g a d 1.0);
+  ignore (Graph.add_edge g s b 1.5);
+  ignore (Graph.add_edge g b d 1.5);
+  ignore (Graph.add_edge g c d 2.0);
+  { graph = g; s; a; b; c; d }
+
+type fig4 = {
+  graph : Graph.t;
+  s : int;
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+  e : int;
+  f : int;
+  g : int;
+}
+
+(* Relations satisfied by these delays (D_thresh = 0.3):
+   - E's SPF path is S-A-D-E (delay 3); after it joins, SHR(S,D) = 2.
+   - G's SPF path is G-F-D-A-S (delay 4); candidate G-B-S has delay 4.5
+     <= 1.3 * 4, merges at S with SHR 0, and wins despite the longer delay.
+   - F's SPF path is F-D-A-S (delay 3, bound 3.9); F-B-S costs 4.0 and
+     F-G-B-S costs 5.5, both over the bound, so F merges at D (SHR 2).
+   - After F joins, SHR(S,D) rises from 2 to 4, triggering reshaping at E,
+     which switches to E-C-A-S (delay 3.8 <= 3.9) whose merge point A has
+     the smaller (adjusted) SHR. *)
+let fig4 () =
+  let g = Graph.create 8 in
+  let s = 0 and a = 1 and b = 2 and c = 3 and d = 4 and e = 5 and f = 6 and gg = 7 in
+  ignore (Graph.add_edge g s a 1.0);
+  ignore (Graph.add_edge g a d 1.0);
+  ignore (Graph.add_edge g d e 1.0);
+  ignore (Graph.add_edge g a c 1.4);
+  ignore (Graph.add_edge g c e 1.4);
+  ignore (Graph.add_edge g d f 1.0);
+  ignore (Graph.add_edge g f gg 1.0);
+  ignore (Graph.add_edge g s b 2.5);
+  ignore (Graph.add_edge g b gg 2.0);
+  ignore (Graph.add_edge g b f 1.5);
+  { graph = g; s; a; b; c; d; e; f; g = gg }
+
+let diamond () =
+  let g = Graph.create 4 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  ignore (Graph.add_edge g 0 2 1.0);
+  ignore (Graph.add_edge g 1 3 1.0);
+  ignore (Graph.add_edge g 2 3 1.0);
+  g
+
+let line n =
+  if n < 1 then invalid_arg "Fixtures.line";
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    ignore (Graph.add_edge g i (i + 1) 1.0)
+  done;
+  g
+
+let ring n =
+  if n < 3 then invalid_arg "Fixtures.ring";
+  let g = line n in
+  ignore (Graph.add_edge g (n - 1) 0 1.0);
+  g
+
+let grid k =
+  if k < 1 then invalid_arg "Fixtures.grid";
+  let g = Graph.create (k * k) in
+  for r = 0 to k - 1 do
+    for c = 0 to k - 1 do
+      let v = (r * k) + c in
+      if c < k - 1 then ignore (Graph.add_edge g v (v + 1) 1.0);
+      if r < k - 1 then ignore (Graph.add_edge g v (v + k) 1.0)
+    done
+  done;
+  g

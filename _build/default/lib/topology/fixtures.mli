@@ -1,0 +1,48 @@
+(** Deterministic topologies reconstructing the paper's worked examples.
+
+    The figures give link-delay relations rather than a full delay table; the
+    delays chosen here satisfy every relation the text states (which paths are
+    shortest, which candidates violate the [D_thresh = 0.3] bound, the quoted
+    SHR values), so the unit tests can assert the paper's walkthroughs
+    verbatim. *)
+
+(** Figure 1: S, A, B, C, D with members C and D. *)
+type fig1 = {
+  graph : Smrp_graph.Graph.t;
+  s : int;
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+}
+
+val fig1 : unit -> fig1
+
+(** Figure 4: S, A, B, C, D, E, F, G; members E, G, F join in that order with
+    [D_thresh = 0.3]. *)
+type fig4 = {
+  graph : Smrp_graph.Graph.t;
+  s : int;
+  a : int;
+  b : int;
+  c : int;
+  d : int;
+  e : int;
+  f : int;
+  g : int;
+}
+
+val fig4 : unit -> fig4
+
+val diamond : unit -> Smrp_graph.Graph.t
+(** A 4-node diamond (0-1, 0-2, 1-3, 2-3, unit delays): the smallest topology
+    with two disjoint source→member paths; used across unit tests. *)
+
+val line : int -> Smrp_graph.Graph.t
+(** [line n]: a path graph with [n] nodes and unit delays. *)
+
+val ring : int -> Smrp_graph.Graph.t
+(** [ring n]: a cycle with [n >= 3] nodes and unit delays. *)
+
+val grid : int -> Smrp_graph.Graph.t
+(** [grid k]: a [k × k] mesh with unit delays; node [(r, c)] is [r * k + c]. *)

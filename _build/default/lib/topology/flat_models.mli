@@ -1,0 +1,30 @@
+(** The other flat random-graph families of Zegura, Calvert & Donahoo
+    (IEEE/ACM ToN 1997 — the paper's reference [7], which it cites to argue
+    that a target node degree can be reached under different models).  Used
+    by the topology-family experiment to check that SMRP's advantage is not
+    an artefact of the Waxman model. *)
+
+type t = {
+  graph : Smrp_graph.Graph.t;
+  positions : (float * float) array;
+  repaired_edges : int list;
+}
+
+val pure_random : ?link_delay:Waxman.link_delay -> Smrp_rng.Rng.t -> n:int -> p:float -> t
+(** G(n, p): every pair connected with probability [p], independent of
+    distance.  Nodes still carry plane positions so Euclidean delays remain
+    meaningful.  Connectivity is repaired as in {!Waxman.generate}. *)
+
+val locality :
+  ?link_delay:Waxman.link_delay ->
+  Smrp_rng.Rng.t ->
+  n:int ->
+  radius:float ->
+  p_near:float ->
+  p_far:float ->
+  t
+(** Zegura's locality model: pairs closer than [radius] connect with
+    probability [p_near], the rest with [p_far]. *)
+
+val probability_for_degree : n:int -> target_degree:float -> float
+(** The [p] giving the target expected average degree in G(n, p). *)

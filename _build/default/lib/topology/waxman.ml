@@ -1,0 +1,99 @@
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Connectivity = Smrp_graph.Connectivity
+
+type t = {
+  graph : Graph.t;
+  positions : (float * float) array;
+  repaired_edges : int list;
+}
+
+type link_delay = [ `Euclidean | `Unit | `Uniform of float * float ]
+
+let min_delay = 0.01
+
+let distance (x1, y1) (x2, y2) = sqrt (((x1 -. x2) ** 2.0) +. ((y1 -. y2) ** 2.0))
+
+let euclidean_delay positions u v = Float.max min_delay (distance positions.(u) positions.(v))
+
+let make_delay link_delay rng positions u v =
+  match link_delay with
+  | `Euclidean -> euclidean_delay positions u v
+  | `Unit -> 1.0
+  | `Uniform (lo, hi) ->
+      if lo <= 0.0 || hi < lo then invalid_arg "Waxman: bad uniform delay range";
+      lo +. Rng.float rng (hi -. lo)
+
+(* Stitch components together with the geometrically shortest inter-component
+   edge until one component remains. *)
+let repair_connectivity link_delay rng g positions =
+  let rec step added =
+    let comp, count = Connectivity.components g in
+    if count <= 1 then List.rev added
+    else begin
+      let n = Graph.node_count g in
+      let best = ref None in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if comp.(u) <> comp.(v) then begin
+            let d = distance positions.(u) positions.(v) in
+            match !best with
+            | Some (bd, _, _) when bd <= d -> ()
+            | _ -> best := Some (d, u, v)
+          end
+        done
+      done;
+      match !best with
+      | None -> List.rev added (* unreachable: count > 1 implies a pair exists *)
+      | Some (_, u, v) ->
+          let id = Graph.add_edge g u v (make_delay link_delay rng positions u v) in
+          step (id :: added)
+    end
+  in
+  step []
+
+let generate ?(link_delay = `Euclidean) rng ~n ~alpha ~beta =
+  if n <= 0 then invalid_arg "Waxman.generate: n must be positive";
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Waxman.generate: alpha out of (0, 1]";
+  if beta <= 0.0 || beta > 1.0 then invalid_arg "Waxman.generate: beta out of (0, 1]";
+  let positions = Array.init n (fun _ ->
+      let x = Rng.float rng 1.0 in
+      let y = Rng.float rng 1.0 in
+      (x, y))
+  in
+  let l = sqrt 2.0 in
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = distance positions.(u) positions.(v) in
+      let p = alpha *. exp (-.d /. (beta *. l)) in
+      if Rng.float rng 1.0 < p then
+        ignore (Graph.add_edge g u v (make_delay link_delay rng positions u v))
+    done
+  done;
+  let repaired_edges = repair_connectivity link_delay rng g positions in
+  { graph = g; positions; repaired_edges }
+
+let measured_average_degree rng ~n ~alpha ~beta ~samples =
+  if samples <= 0 then invalid_arg "Waxman.measured_average_degree: samples must be positive";
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let t = generate rng ~n ~alpha ~beta in
+    total := !total +. Graph.average_degree t.graph
+  done;
+  !total /. float_of_int samples
+
+let calibrate_alpha rng ~n ~beta ~target_degree =
+  (* Expected degree is monotone in alpha, so bisection converges; the
+     empirical estimate uses a fixed per-probe sample count. *)
+  let probe alpha =
+    let rng' = Rng.split rng in
+    measured_average_degree rng' ~n ~alpha ~beta ~samples:5
+  in
+  let rec bisect lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if probe mid < target_degree then bisect mid hi (iters - 1) else bisect lo mid (iters - 1)
+  in
+  bisect 0.01 1.0 12

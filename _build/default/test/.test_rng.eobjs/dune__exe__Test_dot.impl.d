@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Option Smrp_core Smrp_graph Smrp_topology String

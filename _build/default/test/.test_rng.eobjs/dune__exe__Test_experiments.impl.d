@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest List Smrp_core Smrp_experiments Smrp_metrics String

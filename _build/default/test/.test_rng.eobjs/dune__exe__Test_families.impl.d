@@ -1,0 +1,1 @@
+test/test_families.ml: Alcotest Array List QCheck QCheck_alcotest Random Smrp_experiments Smrp_graph Smrp_metrics Smrp_rng Smrp_topology String

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Random Smrp_graph Smrp_rng Smrp_topology

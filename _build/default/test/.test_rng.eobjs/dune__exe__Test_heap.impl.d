@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest List Option QCheck QCheck_alcotest Random Smrp_graph

@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest List Option Smrp_core Smrp_graph Smrp_topology

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Fun List Option QCheck QCheck_alcotest Random Smrp_core Smrp_graph Smrp_rng Smrp_topology

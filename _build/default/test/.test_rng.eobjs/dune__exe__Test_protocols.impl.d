@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Format List Option QCheck QCheck_alcotest Random Smrp_core Smrp_graph Smrp_rng Smrp_topology

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array List Option QCheck QCheck_alcotest Random Smrp_core Smrp_graph Smrp_rng Smrp_topology

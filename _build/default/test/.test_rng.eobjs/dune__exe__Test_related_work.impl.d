@@ -1,0 +1,1 @@
+test/test_related_work.ml: Alcotest Smrp_experiments Smrp_metrics String

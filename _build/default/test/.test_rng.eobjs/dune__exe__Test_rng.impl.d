@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun Hashtbl List Option Printf QCheck QCheck_alcotest Random Smrp_rng

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Option Smrp_core Smrp_graph Smrp_rng Smrp_sim Smrp_topology

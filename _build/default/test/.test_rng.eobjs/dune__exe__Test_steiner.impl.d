@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest List QCheck QCheck_alcotest Random Smrp_core Smrp_experiments Smrp_graph Smrp_metrics Smrp_rng Smrp_topology String

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List QCheck QCheck_alcotest Random Smrp_graph Smrp_rng Smrp_topology

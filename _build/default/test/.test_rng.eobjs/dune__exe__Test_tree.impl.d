@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Format List Option Smrp_core Smrp_graph Smrp_topology

@@ -1,0 +1,124 @@
+(* Experiment drivers: determinism and sanity of the figure pipelines at
+   reduced scale (full-scale runs live in bench/main.exe). *)
+
+module Scenario = Smrp_experiments.Scenario
+module Figures = Smrp_experiments.Figures
+module Latency = Smrp_experiments.Latency
+module Ablation = Smrp_experiments.Ablation
+module Stats = Smrp_metrics.Stats
+module Tree = Smrp_core.Tree
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let scenario_deterministic () =
+  let a = Scenario.run { Scenario.default with Scenario.seed = 9 } in
+  let b = Scenario.run { Scenario.default with Scenario.seed = 9 } in
+  check "same source" true (a.Scenario.source = b.Scenario.source);
+  check "same members" true (a.Scenario.members = b.Scenario.members);
+  check "same aggregates" true (Scenario.aggregates a = Scenario.aggregates b)
+
+let scenario_shapes () =
+  let s = Scenario.run { Scenario.default with Scenario.seed = 4 } in
+  check_int "group size" 30 (List.length s.Scenario.members);
+  check_int "outcome per member" 30 (List.length s.Scenario.outcomes);
+  check "source not member" true (not (List.mem s.Scenario.source s.Scenario.members));
+  check "trees validate" true
+    (Tree.validate s.Scenario.spf_tree = Ok () && Tree.validate s.Scenario.smrp_tree = Ok ());
+  check "positive costs" true (s.Scenario.cost_spf > 0.0 && s.Scenario.cost_smrp > 0.0);
+  let a = Scenario.aggregates s in
+  check "cost penalty sane" true (a.Scenario.cost_relative > -0.5 && a.Scenario.cost_relative < 1.0)
+
+let scenario_rejects_oversized_group () =
+  Alcotest.check_raises "too big" (Invalid_argument "Scenario.run: group larger than network")
+    (fun () -> ignore (Scenario.run { Scenario.default with Scenario.n = 10; group_size = 10 }))
+
+let fig7_smoke () =
+  let r = Figures.Fig7.run ~seed:1 ~topologies:2 () in
+  check "points exist" true (List.length r.Figures.Fig7.points > 20);
+  check "local never worse" true
+    (1.0 -. r.Figures.Fig7.below_diagonal_fraction -. r.Figures.Fig7.on_diagonal_fraction < 0.01);
+  check "renders" true (String.length (Figures.Fig7.render r) > 100)
+
+let fig8_smoke () =
+  let rows = Figures.Fig8.run ~seed:1 ~values:[ 0.1; 0.4 ] ~scenarios:8 () in
+  check_int "two rows" 2 (List.length rows);
+  let r01 = List.hd rows and r04 = List.nth rows 1 in
+  check "penalty grows with threshold" true
+    (r04.Figures.Fig8.delay.Stats.mean >= r01.Figures.Fig8.delay.Stats.mean);
+  check "renders" true (String.length (Figures.Fig8.render rows) > 100)
+
+let fig9_smoke () =
+  let rows = Figures.Fig9.run ~seed:1 ~values:[ 0.15; 0.3 ] ~scenarios:8 ~degree_ten_row:false () in
+  check_int "two rows" 2 (List.length rows);
+  check "degree grows with alpha" true
+    ((List.nth rows 1).Figures.Fig9.average_degree > (List.hd rows).Figures.Fig9.average_degree)
+
+let fig10_smoke () =
+  let rows = Figures.Fig10.run ~seed:1 ~values:[ 20; 40 ] ~scenarios:8 () in
+  check_int "two rows" 2 (List.length rows);
+  check "renders" true (String.length (Figures.Fig10.render rows) > 100)
+
+let latency_smoke () =
+  let cfg = { Latency.default with Latency.settle_time = 40.0; run_time = 30.0 } in
+  let results = Latency.run_many ~seed:3 ~runs:2 cfg in
+  check "two runs" true (List.length results = 2);
+  List.iter
+    (fun r ->
+      if r.Latency.smrp.Latency.restored > 0 && r.Latency.pim.Latency.restored > 0 then
+        check "local restores faster" true
+          (r.Latency.smrp.Latency.mean_restoration < r.Latency.pim.Latency.mean_restoration))
+    results;
+  check "renders" true (String.length (Latency.render results) > 100)
+
+let ablation_reshaping_smoke () =
+  let r = Ablation.Reshaping.run ~seed:2 ~scenarios:6 () in
+  check "switches happen" true (r.Ablation.Reshaping.switches_per_scenario > 0.0);
+  check "renders" true (String.length (Ablation.Reshaping.render r) > 50)
+
+let ablation_query_smoke () =
+  let r = Ablation.Query.run ~seed:2 ~scenarios:6 () in
+  check "query keeps only part of the gain" true
+    (r.Ablation.Query.rd_query.Stats.mean <= r.Ablation.Query.rd_full.Stats.mean +. 0.1);
+  check "renders" true (String.length (Ablation.Query.render r) > 50)
+
+let overhead_smoke () =
+  let r = Smrp_experiments.Overhead.run ~members:8 ~sim_time:40.0 () in
+  let open Smrp_experiments.Overhead in
+  check "hello baseline identical" true (r.smrp.hello = r.pim.hello);
+  check "joins signalled" true (r.smrp.join_req > 0 && r.pim.join_req > 0);
+  check "join overhead comparable (within 3x)" true
+    (r.smrp.join_req < 3 * r.pim.join_req && r.pim.join_req < 3 * r.smrp.join_req);
+  check "renders" true (String.length (render r) > 80)
+
+let ablation_hierarchy_smoke () =
+  let r = Ablation.Hierarchical.run ~seed:2 ~scenarios:3 () in
+  check "confined" true (r.Ablation.Hierarchical.confined_fraction = 1.0);
+  check "failures measured" true (r.Ablation.Hierarchical.failures > 0);
+  check "renders" true (String.length (Ablation.Hierarchical.render r) > 50)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "deterministic" `Quick scenario_deterministic;
+          Alcotest.test_case "shapes" `Quick scenario_shapes;
+          Alcotest.test_case "rejects oversized group" `Quick scenario_rejects_oversized_group;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig7" `Quick fig7_smoke;
+          Alcotest.test_case "fig8" `Quick fig8_smoke;
+          Alcotest.test_case "fig9" `Quick fig9_smoke;
+          Alcotest.test_case "fig10" `Quick fig10_smoke;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "latency" `Slow latency_smoke;
+          Alcotest.test_case "reshaping ablation" `Quick ablation_reshaping_smoke;
+          Alcotest.test_case "query ablation" `Quick ablation_query_smoke;
+          Alcotest.test_case "hierarchy ablation" `Quick ablation_hierarchy_smoke;
+          Alcotest.test_case "overhead" `Quick overhead_smoke;
+        ] );
+    ]

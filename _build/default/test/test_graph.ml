@@ -1,0 +1,368 @@
+module Graph = Smrp_graph.Graph
+module Dijkstra = Smrp_graph.Dijkstra
+module Paths = Smrp_graph.Paths
+module Connectivity = Smrp_graph.Connectivity
+module Subgraph = Smrp_graph.Subgraph
+module Fixtures = Smrp_topology.Fixtures
+
+(* Property tests run with a pinned PRNG state so failures are
+   reproducible run over run. *)
+let qcheck_case t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 424242 |]) t
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let check_ilist = Alcotest.(check (list int))
+
+(* -- Graph basics ------------------------------------------------------ *)
+
+let build_basics () =
+  let g = Graph.create 3 in
+  let e01 = Graph.add_edge g 0 1 1.5 in
+  let e12 = Graph.add_edge ~cost:7.0 g 1 2 2.5 in
+  check_int "node count" 3 (Graph.node_count g);
+  check_int "edge count" 2 (Graph.edge_count g);
+  check_int "ids dense" 1 e12;
+  check_float "delay" 1.5 (Graph.edge g e01).Graph.delay;
+  check_float "cost defaults to delay" 1.5 (Graph.edge g e01).Graph.cost;
+  check_float "explicit cost" 7.0 (Graph.edge g e12).Graph.cost;
+  check_float "total cost" 8.5 (Graph.total_cost g);
+  check_float "average degree" (4.0 /. 3.0) (Graph.average_degree g)
+
+let rejects_bad_edges () =
+  let g = Graph.create 2 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.add_edge: duplicate edge") (fun () ->
+      ignore (Graph.add_edge g 1 0 1.0));
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      ignore (Graph.add_edge g 0 0 1.0));
+  Alcotest.check_raises "non-positive delay" (Invalid_argument "Graph.add_edge: delay must be positive")
+    (fun () ->
+      let g' = Graph.create 2 in
+      ignore (Graph.add_edge g' 0 1 0.0))
+
+let neighbors_and_lookup () =
+  let g = Fixtures.diamond () in
+  check_ilist "neighbors of 0" [ 1; 2 ] (List.map fst (Graph.neighbors g 0));
+  check_int "degree" 2 (Graph.degree g 3);
+  check "mem" true (Graph.mem_edge g 1 3);
+  check "not mem" false (Graph.mem_edge g 0 3);
+  let e = Option.get (Graph.edge_between g 2 3) in
+  check_int "other end" 3 (Graph.other_end e 2);
+  check_int "other end sym" 2 (Graph.other_end e 3)
+
+(* -- Dijkstra ---------------------------------------------------------- *)
+
+let line_distances () =
+  let g = Fixtures.line 5 in
+  let r = Dijkstra.run g ~source:0 in
+  List.iteri
+    (fun i expected -> check_float (Printf.sprintf "dist to %d" i) expected (Option.get (Dijkstra.distance r i)))
+    [ 0.0; 1.0; 2.0; 3.0; 4.0 ];
+  check_ilist "path nodes" [ 0; 1; 2; 3 ] (Option.get (Dijkstra.path_nodes r 3));
+  check_int "path edge count" 3 (List.length (Option.get (Dijkstra.path_edges r 3)))
+
+let grid_distance () =
+  let g = Fixtures.grid 4 in
+  let r = Dijkstra.run g ~source:0 in
+  check_float "manhattan corner" 6.0 (Option.get (Dijkstra.distance r 15))
+
+let blocked_node_forces_detour () =
+  let g = Fixtures.diamond () in
+  let r = Dijkstra.run ~node_ok:(fun v -> v <> 1) g ~source:0 in
+  check_float "detour via 2" 2.0 (Option.get (Dijkstra.distance r 3));
+  check_ilist "path avoids 1" [ 0; 2; 3 ] (Option.get (Dijkstra.path_nodes r 3))
+
+let blocked_edge_forces_detour () =
+  let g = Fixtures.ring 4 in
+  let eid = (Option.get (Graph.edge_between g 0 1)).Graph.id in
+  let r = Dijkstra.run ~edge_ok:(fun e -> e <> eid) g ~source:0 in
+  check_float "around the ring" 3.0 (Option.get (Dijkstra.distance r 1))
+
+let unreachable () =
+  let g = Graph.create 3 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  let r = Dijkstra.run g ~source:0 in
+  check "no distance" true (Dijkstra.distance r 2 = None);
+  check "no path" true (Dijkstra.path_nodes r 2 = None);
+  check "reachable" true (Dijkstra.reachable r 1)
+
+let absorbing_stops_relaxation () =
+  (* Line 0-1-2-3 where 1 absorbs: 2 and 3 must be unreachable even though
+     the graph connects them through 1. *)
+  let g = Fixtures.line 4 in
+  let r = Dijkstra.run ~absorb:(fun v -> v = 1) g ~source:0 in
+  check "reaches absorber" true (Dijkstra.reachable r 1);
+  check "cannot pass through" false (Dijkstra.reachable r 2)
+
+let absorbing_source_still_relaxes () =
+  let g = Fixtures.line 3 in
+  let r = Dijkstra.run ~absorb:(fun v -> v = 0) g ~source:0 in
+  check "source absorb ignored" true (Dijkstra.reachable r 2)
+
+let absorbing_picks_off_tree_interior () =
+  (* Diamond: target 3 absorbing, both 1 and 2 ordinary: path goes through
+     the cheaper interior. *)
+  let g = Fixtures.diamond () in
+  let r = Dijkstra.run ~absorb:(fun v -> v = 1 || v = 3) g ~source:0 in
+  check_float "direct to 1" 1.0 (Option.get (Dijkstra.distance r 1));
+  check_ilist "to 3 via 2 only" [ 0; 2; 3 ] (Option.get (Dijkstra.path_nodes r 3))
+
+let shortest_path_convenience () =
+  let g = Fixtures.diamond () in
+  match Dijkstra.shortest_path g ~src:0 ~dst:3 with
+  | Some (d, nodes, edges) ->
+      check_float "delay" 2.0 d;
+      check_int "nodes" 3 (List.length nodes);
+      check_int "edges" 2 (List.length edges)
+  | None -> Alcotest.fail "expected path"
+
+(* -- Paths ------------------------------------------------------------- *)
+
+let path_of_edges () =
+  let g = Fixtures.line 4 in
+  let edges = Option.get (Dijkstra.path_edges (Dijkstra.run g ~source:0) 3) in
+  let p = Paths.of_edges g ~src:0 edges in
+  check_float "delay" 3.0 p.Paths.delay;
+  check_ilist "nodes" [ 0; 1; 2; 3 ] p.Paths.nodes;
+  check "simple" true (Paths.is_simple p)
+
+let path_concat () =
+  let g = Fixtures.line 5 in
+  let e01 = (Option.get (Graph.edge_between g 0 1)).Graph.id in
+  let e12 = (Option.get (Graph.edge_between g 1 2)).Graph.id in
+  let p = Paths.of_edges g ~src:0 [ e01 ] in
+  let q = Paths.of_edges g ~src:1 [ e12 ] in
+  let pq = Paths.concat p q in
+  check_ilist "joined" [ 0; 1; 2 ] pq.Paths.nodes;
+  check_float "delay adds" 2.0 pq.Paths.delay;
+  Alcotest.check_raises "mismatched concat" (Invalid_argument "Paths.concat: endpoints do not meet")
+    (fun () -> ignore (Paths.concat q p))
+
+let yen_diamond () =
+  let g = Fixtures.diamond () in
+  let paths = Paths.yen ~k:3 g ~src:0 ~dst:3 in
+  check_int "two disjoint paths exist" 2 (List.length paths);
+  check "sorted" true
+    (let ds = List.map (fun p -> p.Paths.delay) paths in
+     List.sort compare ds = ds);
+  List.iter (fun p -> check "loopless" true (Paths.is_simple p)) paths
+
+let yen_ring () =
+  let g = Fixtures.ring 6 in
+  let paths = Paths.yen ~k:5 g ~src:0 ~dst:2 in
+  check_int "both ways around" 2 (List.length paths);
+  check_float "short way" 2.0 (List.hd paths).Paths.delay;
+  check_float "long way" 4.0 (List.nth paths 1).Paths.delay
+
+let yen_distinct () =
+  let g = Fixtures.grid 3 in
+  let paths = Paths.yen ~k:4 g ~src:0 ~dst:8 in
+  check_int "four paths" 4 (List.length paths);
+  let keys = List.map (fun p -> p.Paths.edges) paths in
+  check "all distinct" true (List.length (List.sort_uniq compare keys) = 4)
+
+let yen_respects_filters () =
+  (* With node 1 filtered out of the diamond, only the 0-2-3 path remains. *)
+  let g = Fixtures.diamond () in
+  let paths = Paths.yen ~k:3 ~node_ok:(fun v -> v <> 1) g ~src:0 ~dst:3 in
+  check_int "single path" 1 (List.length paths);
+  check_ilist "the surviving route" [ 0; 2; 3 ] (List.hd paths).Paths.nodes
+
+let yen_zero_k () =
+  let g = Fixtures.diamond () in
+  check_int "k=0 yields nothing" 0 (List.length (Paths.yen ~k:0 g ~src:0 ~dst:3))
+
+(* -- Connectivity ------------------------------------------------------ *)
+
+let components_basic () =
+  let g = Graph.create 5 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  ignore (Graph.add_edge g 2 3 1.0);
+  let comp, count = Connectivity.components g in
+  check_int "three components" 3 count;
+  check "0 and 1 together" true (comp.(0) = comp.(1));
+  check "2 and 3 together" true (comp.(2) = comp.(3));
+  check "4 alone" true (comp.(4) <> comp.(0) && comp.(4) <> comp.(2))
+
+let filtered_connectivity () =
+  let g = Fixtures.ring 5 in
+  let eid = (Option.get (Graph.edge_between g 0 1)).Graph.id in
+  check "ring stays connected without one edge" true
+    (Connectivity.is_connected ~edge_ok:(fun e -> e <> eid) g);
+  let eid2 = (Option.get (Graph.edge_between g 2 3)).Graph.id in
+  check "two cuts split it" false
+    (Connectivity.is_connected ~edge_ok:(fun e -> e <> eid && e <> eid2) g)
+
+let reachable_from () =
+  let g = Fixtures.line 4 in
+  let seen = Connectivity.reachable_from ~node_ok:(fun v -> v <> 2) g 0 in
+  check "reaches 1" true seen.(1);
+  check "blocked at 2" false seen.(2);
+  check "cannot pass" false seen.(3)
+
+let bridges_line () =
+  let g = Fixtures.line 4 in
+  check_int "all edges are bridges" 3 (List.length (Connectivity.bridges g))
+
+let bridges_ring () =
+  let g = Fixtures.ring 5 in
+  check_ilist "no bridges in a cycle" [] (Connectivity.bridges g)
+
+let bridges_mixed () =
+  (* A triangle with a pendant: only the pendant edge is a bridge. *)
+  let g = Graph.create 4 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  ignore (Graph.add_edge g 1 2 1.0);
+  ignore (Graph.add_edge g 2 0 1.0);
+  let pendant = Graph.add_edge g 2 3 1.0 in
+  check_ilist "pendant only" [ pendant ] (Connectivity.bridges g)
+
+let articulation_star () =
+  let g = Graph.create 4 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  ignore (Graph.add_edge g 0 2 1.0);
+  ignore (Graph.add_edge g 0 3 1.0);
+  check_ilist "hub is the cut vertex" [ 0 ] (Connectivity.articulation_points g)
+
+let articulation_ring () =
+  let g = Fixtures.ring 5 in
+  check_ilist "cycle has none" [] (Connectivity.articulation_points g)
+
+(* -- Subgraph ---------------------------------------------------------- *)
+
+let subgraph_extract () =
+  let g = Fixtures.diamond () in
+  let sub = Subgraph.extract g ~keep:(fun v -> v <> 1) in
+  check_int "three nodes" 3 (Graph.node_count sub.Subgraph.graph);
+  check_int "two edges" 2 (Graph.edge_count sub.Subgraph.graph);
+  check "dropped node unmapped" true (Subgraph.node_to_sub sub 1 = None);
+  let s0 = Option.get (Subgraph.node_to_sub sub 0) in
+  check_int "round trip" 0 (Subgraph.node_from_sub sub s0);
+  (* Edge ids map back onto original ids. *)
+  Array.iteri
+    (fun sub_id orig_id ->
+      let se = Graph.edge sub.Subgraph.graph sub_id in
+      let oe = Graph.edge g orig_id in
+      check_float "delay preserved" oe.Graph.delay se.Graph.delay)
+    sub.Subgraph.edge_from_sub
+
+let subgraph_preserves_costs () =
+  let g = Graph.create 3 in
+  ignore (Graph.add_edge ~cost:9.0 g 0 1 2.0);
+  ignore (Graph.add_edge g 1 2 3.0);
+  let sub = Subgraph.extract g ~keep:(fun _ -> true) in
+  check_float "cost preserved" 9.0 (Graph.edge sub.Subgraph.graph 0).Graph.cost
+
+(* -- Properties -------------------------------------------------------- *)
+
+let random_graph seed n extra_edges =
+  let rng = Smrp_rng.Rng.create seed in
+  let g = Graph.create n in
+  (* Random spanning tree plus chords: always connected. *)
+  for v = 1 to n - 1 do
+    let u = Smrp_rng.Rng.int rng v in
+    ignore (Graph.add_edge g u v (0.1 +. Smrp_rng.Rng.float rng 5.0))
+  done;
+  for _ = 1 to extra_edges do
+    let u = Smrp_rng.Rng.int rng n and v = Smrp_rng.Rng.int rng n in
+    if u <> v && not (Graph.mem_edge g u v) then
+      ignore (Graph.add_edge g u v (0.1 +. Smrp_rng.Rng.float rng 5.0))
+  done;
+  g
+
+let qcheck_triangle_inequality =
+  QCheck.Test.make ~name:"dijkstra satisfies the triangle inequality on edges" ~count:100
+    QCheck.(pair small_int (int_range 2 40))
+    (fun (seed, n) ->
+      let g = random_graph seed n n in
+      let r = Dijkstra.run g ~source:0 in
+      Graph.fold_edges
+        (fun ok e ->
+          ok
+          &&
+          match (Dijkstra.distance r e.Graph.u, Dijkstra.distance r e.Graph.v) with
+          | Some du, Some dv -> dv <= du +. e.Graph.delay +. 1e-9 && du <= dv +. e.Graph.delay +. 1e-9
+          | _ -> false)
+        true g)
+
+let qcheck_yen_sorted_loopless =
+  QCheck.Test.make ~name:"yen paths are loopless, distinct and sorted" ~count:60
+    QCheck.(pair small_int (int_range 4 25))
+    (fun (seed, n) ->
+      let g = random_graph seed n (2 * n) in
+      let paths = Paths.yen ~k:4 g ~src:0 ~dst:(n - 1) in
+      let sorted = List.map (fun p -> p.Paths.delay) paths in
+      List.for_all Paths.is_simple paths
+      && List.sort compare sorted = sorted
+      && List.length (List.sort_uniq compare (List.map (fun p -> p.Paths.edges) paths))
+         = List.length paths)
+
+let qcheck_bridge_removal_disconnects =
+  QCheck.Test.make ~name:"removing a bridge disconnects; removing a non-bridge does not" ~count:60
+    QCheck.(pair small_int (int_range 3 30))
+    (fun (seed, n) ->
+      let g = random_graph seed n (n / 2) in
+      let bridges = Connectivity.bridges g in
+      Graph.fold_edges
+        (fun ok e ->
+          ok
+          &&
+          let still = Connectivity.is_connected ~edge_ok:(fun id -> id <> e.Graph.id) g in
+          if List.mem e.Graph.id bridges then not still else still)
+        true g)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "build and inspect" `Quick build_basics;
+          Alcotest.test_case "rejects bad edges" `Quick rejects_bad_edges;
+          Alcotest.test_case "neighbors and lookup" `Quick neighbors_and_lookup;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "line distances" `Quick line_distances;
+          Alcotest.test_case "grid distance" `Quick grid_distance;
+          Alcotest.test_case "blocked node detour" `Quick blocked_node_forces_detour;
+          Alcotest.test_case "blocked edge detour" `Quick blocked_edge_forces_detour;
+          Alcotest.test_case "unreachable" `Quick unreachable;
+          Alcotest.test_case "absorbing stops relaxation" `Quick absorbing_stops_relaxation;
+          Alcotest.test_case "absorbing source still relaxes" `Quick absorbing_source_still_relaxes;
+          Alcotest.test_case "absorbing interior choice" `Quick absorbing_picks_off_tree_interior;
+          Alcotest.test_case "shortest_path convenience" `Quick shortest_path_convenience;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "of_edges" `Quick path_of_edges;
+          Alcotest.test_case "concat" `Quick path_concat;
+          Alcotest.test_case "yen on diamond" `Quick yen_diamond;
+          Alcotest.test_case "yen on ring" `Quick yen_ring;
+          Alcotest.test_case "yen distinct on grid" `Quick yen_distinct;
+          Alcotest.test_case "yen respects filters" `Quick yen_respects_filters;
+          Alcotest.test_case "yen k=0" `Quick yen_zero_k;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "components" `Quick components_basic;
+          Alcotest.test_case "filtered connectivity" `Quick filtered_connectivity;
+          Alcotest.test_case "reachable_from" `Quick reachable_from;
+          Alcotest.test_case "bridges on a line" `Quick bridges_line;
+          Alcotest.test_case "bridges on a ring" `Quick bridges_ring;
+          Alcotest.test_case "bridges mixed" `Quick bridges_mixed;
+          Alcotest.test_case "articulation star" `Quick articulation_star;
+          Alcotest.test_case "articulation ring" `Quick articulation_ring;
+        ] );
+      ( "subgraph",
+        [
+          Alcotest.test_case "extract" `Quick subgraph_extract;
+          Alcotest.test_case "costs preserved" `Quick subgraph_preserves_costs;
+        ] );
+      ( "properties",
+        [
+          qcheck_case qcheck_triangle_inequality;
+          qcheck_case qcheck_yen_sorted_loopless;
+          qcheck_case qcheck_bridge_removal_disconnects;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+module Heap = Smrp_graph.Heap
+
+(* Property tests run with a pinned PRNG state so failures are
+   reproducible run over run. *)
+let qcheck_case t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 424242 |]) t
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pops_in_order () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.add h p p) [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let order = List.init 5 (fun _ -> snd (Option.get (Heap.pop_min h))) in
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] order
+
+let fifo_on_ties () =
+  let h = Heap.create () in
+  List.iteri (fun i name -> ignore i; Heap.add h 1.0 name) [ "a"; "b"; "c"; "d" ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop_min h))) in
+  Alcotest.(check (list string)) "insertion order on equal priority" [ "a"; "b"; "c"; "d" ] order
+
+let mixed_ties () =
+  let h = Heap.create () in
+  Heap.add h 2.0 "x1";
+  Heap.add h 1.0 "y1";
+  Heap.add h 2.0 "x2";
+  Heap.add h 1.0 "y2";
+  let order = List.init 4 (fun _ -> snd (Option.get (Heap.pop_min h))) in
+  Alcotest.(check (list string)) "priority then fifo" [ "y1"; "y2"; "x1"; "x2" ] order
+
+let peek_does_not_remove () =
+  let h = Heap.create () in
+  Heap.add h 1.0 "only";
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "only")) (Heap.peek_min h);
+  check_int "still there" 1 (Heap.length h)
+
+let empty_pops () =
+  let h : int Heap.t = Heap.create () in
+  check "empty" true (Heap.is_empty h);
+  check "pop none" true (Heap.pop_min h = None);
+  check "peek none" true (Heap.peek_min h = None)
+
+let interleaved () =
+  let h = Heap.create () in
+  Heap.add h 3.0 3;
+  Heap.add h 1.0 1;
+  check "min is 1" true (snd (Option.get (Heap.pop_min h)) = 1);
+  Heap.add h 2.0 2;
+  Heap.add h 0.5 0;
+  check "min is 0" true (snd (Option.get (Heap.pop_min h)) = 0);
+  check "then 2" true (snd (Option.get (Heap.pop_min h)) = 2);
+  check "then 3" true (snd (Option.get (Heap.pop_min h)) = 3)
+
+let clear_resets () =
+  let h = Heap.create () in
+  Heap.add h 1.0 1;
+  Heap.clear h;
+  check "empty after clear" true (Heap.is_empty h)
+
+let grows_large () =
+  let h = Heap.create () in
+  for i = 999 downto 0 do
+    Heap.add h (float_of_int i) i
+  done;
+  check_int "length" 1000 (Heap.length h);
+  for i = 0 to 999 do
+    check_int "in order" i (snd (Option.get (Heap.pop_min h)))
+  done
+
+let qcheck_sorted_pops =
+  QCheck.Test.make ~name:"pop sequence is non-decreasing" ~count:300
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iter (fun p -> Heap.add h p p) priorities;
+      let rec drain last =
+        match Heap.pop_min h with
+        | None -> true
+        | Some (p, _) -> p >= last && drain p
+      in
+      drain neg_infinity)
+
+let qcheck_stable_ties =
+  QCheck.Test.make ~name:"ties pop in insertion order" ~count:300
+    QCheck.(list (int_range 0 3))
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.add h (float_of_int k) (k, i)) keys;
+      let rec drain last =
+        match Heap.pop_min h with
+        | None -> true
+        | Some (_, (k, i)) -> (
+            match last with
+            | Some (lk, li) when lk = k -> li < i && drain (Some (k, i))
+            | _ -> drain (Some (k, i)))
+      in
+      drain None)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ( "ordering",
+        [
+          Alcotest.test_case "pops in priority order" `Quick pops_in_order;
+          Alcotest.test_case "fifo on ties" `Quick fifo_on_ties;
+          Alcotest.test_case "mixed ties" `Quick mixed_ties;
+          Alcotest.test_case "interleaved add/pop" `Quick interleaved;
+          Alcotest.test_case "grows large" `Quick grows_large;
+        ] );
+      ( "basics",
+        [
+          Alcotest.test_case "peek does not remove" `Quick peek_does_not_remove;
+          Alcotest.test_case "empty pops" `Quick empty_pops;
+          Alcotest.test_case "clear resets" `Quick clear_resets;
+        ] );
+      ( "properties",
+        [
+          qcheck_case qcheck_sorted_pops;
+          qcheck_case qcheck_stable_ties;
+        ] );
+    ]

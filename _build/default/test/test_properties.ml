@@ -1,0 +1,204 @@
+(* Cross-cutting qcheck properties tying the whole stack together: every
+   invariant here corresponds to a claim in the paper (§3.1–§3.2) or to a
+   structural guarantee downstream code relies on. *)
+
+module Graph = Smrp_graph.Graph
+module Dijkstra = Smrp_graph.Dijkstra
+module Rng = Smrp_rng.Rng
+module Waxman = Smrp_topology.Waxman
+module Tree = Smrp_core.Tree
+module Spf = Smrp_core.Spf
+module Smrp = Smrp_core.Smrp
+module Reshape = Smrp_core.Reshape
+module Failure = Smrp_core.Failure
+module Recovery = Smrp_core.Recovery
+module Session = Smrp_core.Session
+
+(* Property tests run with a pinned PRNG state so failures are
+   reproducible run over run. *)
+let qcheck_case t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 424242 |]) t
+
+let scene seed =
+  let rng = Rng.create seed in
+  let n = 20 + Rng.int rng 60 in
+  let link_delay = if Rng.bool rng then `Euclidean else `Unit in
+  let topo = Waxman.generate ~link_delay rng ~n ~alpha:0.2 ~beta:0.2 in
+  let k = 2 + Rng.int rng (min 15 (n - 2)) in
+  let sample = Smrp_rng.Rng.sample_without_replacement rng (k + 1) n in
+  (topo.Waxman.graph, List.hd sample, List.tl sample)
+
+(* §3.2.2: the delay bound.  Every SMRP member is within (1 + D_thresh) of
+   its unicast shortest delay, or — in the fallback case — at the lowest
+   total delay any merge point offered. *)
+let bound_respected =
+  QCheck.Test.make ~name:"every SMRP member respects the D_thresh bound (or its fallback)"
+    ~count:150 QCheck.small_int (fun seed ->
+      let g, source, members = scene seed in
+      let d_thresh = 0.3 in
+      let t = Tree.create g ~source in
+      List.for_all
+        (fun m ->
+          (* Check against the join-time tree: a bounded candidate either
+             exists (and the join must respect the bound) or the member
+             legitimately falls back to the lowest-delay connection.  A
+             joiner that is already on-tree keeps its relay path verbatim (a
+             zero-cost subscription), so the bound does not apply to it. *)
+          let was_on_tree = Tree.is_on_tree t m in
+          let spf = Option.get (Smrp.spf_distance t m) in
+          let had_bounded =
+            (not was_on_tree)
+            && List.exists
+                 (fun c -> c.Smrp.total_delay <= ((1.0 +. d_thresh) *. spf) +. 1e-9)
+                 (Smrp.candidates t ~joiner:m)
+          in
+          Smrp.join ~d_thresh t m;
+          (not had_bounded)
+          || Tree.delay_to_source t m <= ((1.0 +. d_thresh) *. spf) +. 1e-9)
+        members)
+
+(* SHR accounting matches Eq. 1 recomputed from scratch. *)
+let shr_matches_link_definition =
+  QCheck.Test.make ~name:"SHR by Eq. 2 equals SHR by Eq. 1 (link counting)" ~count:100
+    QCheck.small_int (fun seed ->
+      let g, source, members = scene seed in
+      let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      (* N_{L(u,v)} = members whose tree path uses the link. *)
+      let link_users eid =
+        List.length
+          (List.filter
+             (fun m ->
+               let rec walk v = function
+                 | [] -> false
+                 | p :: rest -> (
+                     ignore p;
+                     match Tree.parent_edge t v with
+                     | Some e when e = eid -> true
+                     | _ -> ( match Tree.parent t v with Some u -> walk u rest | None -> false))
+               in
+               walk m (Tree.path_to_source t m))
+             members)
+      in
+      List.for_all
+        (fun m ->
+          let eq1 =
+            let rec up v acc =
+              match (Tree.parent t v, Tree.parent_edge t v) with
+              | Some p, Some eid -> up p (acc + link_users eid)
+              | _ -> acc
+            in
+            up m 0
+          in
+          eq1 = Tree.shr t m)
+        members)
+
+(* §3.1: the local detour never exceeds the global one, whatever tree and
+   whatever failed on-tree link (not just the worst case). *)
+let local_le_global_any_link =
+  QCheck.Test.make ~name:"local <= global for every on-tree link failure" ~count:60
+    QCheck.small_int (fun seed ->
+      let g, source, members = scene seed in
+      let t = Spf.build g ~source ~members in
+      List.for_all
+        (fun eid ->
+          let f = Failure.Link eid in
+          List.for_all
+            (fun m ->
+              match (Recovery.local_detour t f ~member:m, Recovery.global_detour t f ~member:m) with
+              | Some l, Some gl -> l.Recovery.recovery_distance <= gl.Recovery.recovery_distance +. 1e-9
+              | None, Some _ -> false
+              | _ -> true)
+            (Failure.affected_members t f))
+        (Tree.tree_edges t))
+
+(* Join/leave round trip: leaving everything returns the empty tree. *)
+let full_churn_empties_tree =
+  QCheck.Test.make ~name:"leaving all members returns to the bare source" ~count:100
+    QCheck.small_int (fun seed ->
+      let g, source, members = scene seed in
+      let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      List.iter (Smrp.leave t) members;
+      Tree.on_tree_nodes t = [ source ] && Tree.validate t = Ok ())
+
+(* Join order changes the tree but never its member set or validity. *)
+let join_order_immaterial_for_membership =
+  QCheck.Test.make ~name:"any join order yields a valid tree with the same members" ~count:80
+    QCheck.small_int (fun seed ->
+      let g, source, members = scene seed in
+      let t1 = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      let t2 = Smrp.build ~d_thresh:0.3 g ~source ~members:(List.rev members) in
+      Tree.validate t1 = Ok () && Tree.validate t2 = Ok ()
+      && Tree.members t1 = Tree.members t2)
+
+(* Session repair conserves members: repaired + lost = affected. *)
+let session_repair_conserves_members =
+  QCheck.Test.make ~name:"session repair conserves members" ~count:60 QCheck.small_int
+    (fun seed ->
+      let g, source, members = scene seed in
+      let s = Session.create g ~source ~protocol:(Session.Smrp { d_thresh = 0.3 }) in
+      List.iter (Session.join s) members;
+      match Failure.worst_case_for_member (Session.tree s) (List.hd members) with
+      | None -> true
+      | Some f ->
+          let affected = Failure.affected_members (Session.tree s) f in
+          let repairs = Session.fail s f in
+          let lost =
+            List.filter_map (function Session.Lost m -> Some m | _ -> None) (Session.events s)
+          in
+          List.length affected = List.length repairs + List.length lost
+          && Tree.validate (Session.tree s) = Ok ())
+
+(* Reshaping is idempotent at the fixpoint stabilize reaches (when it
+   converged before the round limit). *)
+let stabilize_idempotent =
+  QCheck.Test.make ~name:"stabilize is idempotent once converged" ~count:60 QCheck.small_int
+    (fun seed ->
+      let g, source, members = scene seed in
+      let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      let first = Reshape.stabilize ~d_thresh:0.3 ~max_rounds:20 t in
+      if first.Reshape.rounds >= 20 then true (* did not converge; skip *)
+      else
+        let again = Reshape.stabilize ~d_thresh:0.3 ~max_rounds:20 t in
+        again.Reshape.switches = 0)
+
+(* Dijkstra with failure filters equals Dijkstra on a physically rebuilt
+   graph (filters are semantically a graph edit). *)
+let filters_equal_rebuilt_graph =
+  QCheck.Test.make ~name:"failure filters behave like physical edge removal" ~count:60
+    QCheck.small_int (fun seed ->
+      let g, source, _ = scene seed in
+      if Graph.edge_count g = 0 then true
+      else begin
+        let rng = Rng.create (seed + 1) in
+        let eid = Rng.int rng (Graph.edge_count g) in
+        let f = Failure.Link eid in
+        let rebuilt = Graph.create (Graph.node_count g) in
+        Graph.iter_edges
+          (fun e ->
+            if e.Graph.id <> eid then
+              ignore (Graph.add_edge ~cost:e.Graph.cost rebuilt e.Graph.u e.Graph.v e.Graph.delay))
+          g;
+        let r1 = Dijkstra.run ~edge_ok:(Failure.edge_ok g f) g ~source in
+        let r2 = Dijkstra.run rebuilt ~source in
+        List.for_all
+          (fun v -> Dijkstra.distance r1 v = Dijkstra.distance r2 v)
+          (List.init (Graph.node_count g) Fun.id)
+      end)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "paper_invariants",
+        [
+          qcheck_case bound_respected;
+          qcheck_case shr_matches_link_definition;
+          qcheck_case local_le_global_any_link;
+        ] );
+      ( "structural",
+        [
+          qcheck_case full_churn_empties_tree;
+          qcheck_case join_order_immaterial_for_membership;
+          qcheck_case session_repair_conserves_members;
+          qcheck_case stabilize_idempotent;
+          qcheck_case filters_equal_rebuilt_graph;
+        ] );
+    ]

@@ -1,0 +1,37 @@
+module Related_work = Smrp_experiments.Related_work
+module Stats = Smrp_metrics.Stats
+
+let check = Alcotest.(check bool)
+
+let feasibility_monotone_in_alpha () =
+  let rows = Related_work.feasibility ~seed:3 ~samples:30 ~alphas:[ 0.2; 0.8 ] () in
+  match rows with
+  | [ sparse; dense ] ->
+      check "denser graphs admit redundant trees more often" true
+        (dense.Related_work.feasible_fraction >= sparse.Related_work.feasible_fraction);
+      check "degree grows" true
+        (dense.Related_work.average_degree > sparse.Related_work.average_degree)
+  | _ -> Alcotest.fail "expected two rows"
+
+let comparison_shapes () =
+  let cmp = Related_work.compare_schemes ~seed:3 ~scenarios:8 () in
+  check "scenarios collected" true (cmp.Related_work.scenarios > 0);
+  check "redundant trees recover instantly" true (cmp.Related_work.rd_redundant = 0.0);
+  check "SMRP detours are short but nonzero" true (cmp.Related_work.rd_smrp.Stats.mean > 0.0);
+  check "redundant trees provision much more capacity" true
+    (cmp.Related_work.cost_redundant.Stats.mean > cmp.Related_work.cost_smrp.Stats.mean);
+  check "backup paths are slower than primaries" true
+    (cmp.Related_work.post_failure_delay_redundant.Stats.mean
+    >= cmp.Related_work.delay_redundant.Stats.mean);
+  check "renders" true
+    (String.length (Related_work.render (Related_work.feasibility ~samples:5 ()) cmp) > 100)
+
+let () =
+  Alcotest.run "related_work"
+    [
+      ( "comparison",
+        [
+          Alcotest.test_case "feasibility monotone in alpha" `Quick feasibility_monotone_in_alpha;
+          Alcotest.test_case "comparison shapes" `Quick comparison_shapes;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* Tree reshaping (§3.2.3) beyond the Figure 5 walkthrough. *)
+
+module Graph = Smrp_graph.Graph
+module Rng = Smrp_rng.Rng
+module Waxman = Smrp_topology.Waxman
+module Fixtures = Smrp_topology.Fixtures
+module Tree = Smrp_core.Tree
+module Spf = Smrp_core.Spf
+module Smrp = Smrp_core.Smrp
+module Reshape = Smrp_core.Reshape
+
+(* Property tests run with a pinned PRNG state so failures are
+   reproducible run over run. *)
+let qcheck_case t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 424242 |]) t
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let assert_valid t = match Tree.validate t with Ok () -> () | Error e -> Alcotest.fail e
+
+let random_scene seed =
+  let rng = Rng.create seed in
+  let n = 20 + Rng.int rng 60 in
+  let topo = Waxman.generate rng ~n ~alpha:0.2 ~beta:0.2 in
+  let k = 2 + Rng.int rng (min 15 (n - 2)) in
+  let sample = Smrp_rng.Rng.sample_without_replacement rng (k + 1) n in
+  (topo.Waxman.graph, List.hd sample, List.tl sample)
+
+let reshape_noop_when_stable () =
+  let f = Fixtures.fig4 () in
+  let t = Tree.create f.Fixtures.graph ~source:f.Fixtures.s in
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.e;
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.g;
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.f;
+  check "first reshape switches" true (Reshape.try_reshape ~d_thresh:0.3 t f.Fixtures.e);
+  check "second reshape is a no-op" false (Reshape.try_reshape ~d_thresh:0.3 t f.Fixtures.e);
+  assert_valid t
+
+let reshape_preserves_membership () =
+  let g, source, members = random_scene 5 in
+  let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+  let before = Tree.members t in
+  ignore (Reshape.stabilize ~d_thresh:0.3 t);
+  Alcotest.(check (list int)) "members unchanged" before (Tree.members t);
+  assert_valid t
+
+let reshape_rejected_for_bad_nodes () =
+  let g = Fixtures.line 3 in
+  let t = Spf.build g ~source:0 ~members:[ 2 ] in
+  Alcotest.check_raises "source" (Invalid_argument "Reshape.try_reshape: cannot reshape the source")
+    (fun () -> ignore (Reshape.try_reshape t 0));
+  Alcotest.check_raises "off-tree" (Invalid_argument "Reshape.try_reshape: off-tree node")
+    (fun () ->
+      let g2 = Fixtures.line 4 in
+      let t2 = Spf.build g2 ~source:0 ~members:[ 1 ] in
+      ignore (Reshape.try_reshape t2 3))
+
+let stabilize_terminates () =
+  let g, source, members = random_scene 8 in
+  let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+  let stats = Reshape.stabilize ~d_thresh:0.3 ~max_rounds:10 t in
+  check "bounded rounds" true (stats.Reshape.rounds <= 10);
+  assert_valid t
+
+let stabilize_does_not_worsen_shr () =
+  (* The total SHR over members must not increase: every switch strictly
+     reduces the (adjusted) merge SHR. *)
+  let total_shr t = List.fold_left (fun acc m -> acc + Tree.shr t m) 0 (Tree.members t) in
+  let g, source, members = random_scene 9 in
+  let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+  let before = total_shr t in
+  ignore (Reshape.stabilize ~d_thresh:0.3 t);
+  check "sum of member SHR not increased" true (total_shr t <= before)
+
+let monitor_tracks_drift () =
+  let f = Fixtures.fig4 () in
+  let t = Tree.create f.Fixtures.graph ~source:f.Fixtures.s in
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.e;
+  let m = Reshape.monitor t in
+  check "no drift initially" true (Reshape.drifted m t ~threshold:0 = []);
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.g;
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.f;
+  let drifted = Reshape.drifted m t ~threshold:1 in
+  check "drift detected" true (drifted <> []);
+  List.iter (fun v -> Reshape.note_reshaped m t v) drifted;
+  check "snapshots refreshed" true (Reshape.drifted m t ~threshold:1 = [])
+
+let condition_i_counts_switches () =
+  let f = Fixtures.fig4 () in
+  let t = Tree.create f.Fixtures.graph ~source:f.Fixtures.s in
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.e;
+  let m = Reshape.monitor t in
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.g;
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.f;
+  let switches = Reshape.run_condition_i ~d_thresh:0.3 ~threshold:1 m t in
+  check_int "one switch (E)" 1 switches;
+  assert_valid t
+
+let reshape_respects_bound () =
+  (* After any reshape, each member still satisfies its D_thresh bound
+     unless it was attached by fallback; with a connected Waxman graph and
+     0.3 bound the switched nodes must respect it. *)
+  let g, source, members = random_scene 10 in
+  let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+  ignore (Reshape.stabilize ~d_thresh:0.3 t);
+  List.iter
+    (fun m ->
+      let spf = Option.get (Smrp.spf_distance t m) in
+      check "not absurdly long" true (Tree.delay_to_source t m <= (2.0 *. spf) +. 1e-9))
+    members
+
+let qcheck_stabilize_valid =
+  QCheck.Test.make ~name:"stabilize keeps trees valid" ~count:100 QCheck.small_int (fun seed ->
+      let g, source, members = random_scene seed in
+      let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      ignore (Reshape.stabilize ~d_thresh:0.3 t);
+      Tree.validate t = Ok () && List.for_all (Tree.is_member t) members)
+
+let qcheck_try_reshape_valid =
+  QCheck.Test.make ~name:"any single reshape keeps the tree valid" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g, source, members = random_scene seed in
+      let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      List.for_all
+        (fun v ->
+          if Tree.is_on_tree t v && v <> source then begin
+            ignore (Reshape.try_reshape ~d_thresh:0.3 t v);
+            Tree.validate t = Ok ()
+          end
+          else true)
+        (List.init (Graph.node_count g) Fun.id))
+
+let () =
+  Alcotest.run "reshape"
+    [
+      ( "behaviour",
+        [
+          Alcotest.test_case "no-op when stable" `Quick reshape_noop_when_stable;
+          Alcotest.test_case "preserves membership" `Quick reshape_preserves_membership;
+          Alcotest.test_case "rejects bad nodes" `Quick reshape_rejected_for_bad_nodes;
+          Alcotest.test_case "stabilize terminates" `Quick stabilize_terminates;
+          Alcotest.test_case "does not worsen SHR" `Quick stabilize_does_not_worsen_shr;
+          Alcotest.test_case "respects the delay bound" `Quick reshape_respects_bound;
+        ] );
+      ( "condition_i",
+        [
+          Alcotest.test_case "monitor tracks drift" `Quick monitor_tracks_drift;
+          Alcotest.test_case "counts switches" `Quick condition_i_counts_switches;
+        ] );
+      ( "properties",
+        [
+          qcheck_case qcheck_stabilize_valid;
+          qcheck_case qcheck_try_reshape_valid;
+        ] );
+    ]

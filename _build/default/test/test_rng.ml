@@ -1,0 +1,170 @@
+module Rng = Smrp_rng.Rng
+
+(* Property tests run with a pinned PRNG state so failures are
+   reproducible run over run. *)
+let qcheck_case t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 424242 |]) t
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let split_diverges () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check "split streams differ" true (!same < 2)
+
+let int_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 7 in
+    check "in range" true (v >= 0 && v < 7)
+  done
+
+let int_covers_range () =
+  let r = Rng.create 3 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int r 5) <- true
+  done;
+  Array.iteri (fun i s -> check (Printf.sprintf "value %d drawn" i) true s) seen
+
+let int_rejects_bad_bound () =
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int (Rng.create 1) 0))
+
+let float_bounds () =
+  let r = Rng.create 2 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 3.5 in
+    check "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let float_mean () =
+  let r = Rng.create 4 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.float r 1.0
+  done;
+  let mean = !total /. float_of_int n in
+  check "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let shuffle_is_permutation () =
+  let r = Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted;
+  check "actually permuted" true (a <> Array.init 50 Fun.id)
+
+let sample_without_replacement () =
+  let r = Rng.create 6 in
+  for _ = 1 to 100 do
+    let s = Rng.sample_without_replacement r 10 30 in
+    check_int "ten values" 10 (List.length s);
+    check "sorted distinct in range" true
+      (List.for_all (fun v -> v >= 0 && v < 30) s
+      && List.sort_uniq compare s = s)
+  done
+
+let sample_full_range () =
+  let r = Rng.create 8 in
+  let s = Rng.sample_without_replacement r 5 5 in
+  Alcotest.(check (list int)) "whole population" [ 0; 1; 2; 3; 4 ] s
+
+let exponential_positive () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1_000 do
+    check "positive" true (Rng.exponential r 2.0 >= 0.0)
+  done
+
+let exponential_mean () =
+  let r = Rng.create 10 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential r 2.0
+  done;
+  check "mean near 1/rate" true (abs_float ((!total /. float_of_int n) -. 0.5) < 0.02)
+
+let pick_rejects_empty () =
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick (Rng.create 1) [||]))
+
+let pick_uniform () =
+  let r = Rng.create 11 in
+  let arr = [| "a"; "b"; "c" |] in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3_000 do
+    let v = Rng.pick r arr in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  Array.iter
+    (fun v -> check (v ^ " drawn often") true (Option.value ~default:0 (Hashtbl.find_opt counts v) > 800))
+    arr
+
+let qcheck_int_in_bound =
+  QCheck.Test.make ~name:"Rng.int stays within arbitrary bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let qcheck_sample_distinct =
+  QCheck.Test.make ~name:"sample_without_replacement yields distinct values" ~count:200
+    QCheck.(pair small_int (pair (int_range 0 50) (int_range 50 200)))
+    (fun (seed, (k, n)) ->
+      let r = Rng.create seed in
+      let s = Rng.sample_without_replacement r k n in
+      List.length s = k && List.sort_uniq compare s = s)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same stream" `Quick determinism;
+          Alcotest.test_case "copy continues identically" `Quick copy_independent;
+          Alcotest.test_case "split diverges" `Quick split_diverges;
+        ] );
+      ( "draws",
+        [
+          Alcotest.test_case "int bounds" `Quick int_bounds;
+          Alcotest.test_case "int covers range" `Quick int_covers_range;
+          Alcotest.test_case "int rejects bad bound" `Quick int_rejects_bad_bound;
+          Alcotest.test_case "float bounds" `Quick float_bounds;
+          Alcotest.test_case "float mean" `Quick float_mean;
+          Alcotest.test_case "pick uniform-ish" `Quick pick_uniform;
+          Alcotest.test_case "pick rejects empty" `Quick pick_rejects_empty;
+          Alcotest.test_case "exponential positive" `Quick exponential_positive;
+          Alcotest.test_case "exponential mean" `Quick exponential_mean;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "shuffle is a permutation" `Quick shuffle_is_permutation;
+          Alcotest.test_case "sample without replacement" `Quick sample_without_replacement;
+          Alcotest.test_case "sample full range" `Quick sample_full_range;
+        ] );
+      ( "properties",
+        [
+          qcheck_case qcheck_int_in_bound;
+          qcheck_case qcheck_sample_distinct;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Connectivity = Smrp_graph.Connectivity
+module Waxman = Smrp_topology.Waxman
+module Transit_stub = Smrp_topology.Transit_stub
+module Fixtures = Smrp_topology.Fixtures
+
+(* Property tests run with a pinned PRNG state so failures are
+   reproducible run over run. *)
+let qcheck_case t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 424242 |]) t
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -- Waxman ------------------------------------------------------------ *)
+
+let waxman_connected () =
+  for seed = 1 to 10 do
+    let t = Waxman.generate (Rng.create seed) ~n:60 ~alpha:0.15 ~beta:0.2 in
+    check "connected" true (Connectivity.is_connected t.Waxman.graph)
+  done
+
+let waxman_deterministic () =
+  let a = Waxman.generate (Rng.create 5) ~n:50 ~alpha:0.2 ~beta:0.2 in
+  let b = Waxman.generate (Rng.create 5) ~n:50 ~alpha:0.2 ~beta:0.2 in
+  check_int "same edge count" (Graph.edge_count a.Waxman.graph) (Graph.edge_count b.Waxman.graph);
+  check "same positions" true (a.Waxman.positions = b.Waxman.positions)
+
+let waxman_node_count () =
+  let t = Waxman.generate (Rng.create 1) ~n:37 ~alpha:0.3 ~beta:0.3 in
+  check_int "node count" 37 (Graph.node_count t.Waxman.graph);
+  check_int "positions" 37 (Array.length t.Waxman.positions)
+
+let waxman_alpha_monotone () =
+  let degree alpha =
+    Waxman.measured_average_degree (Rng.create 7) ~n:80 ~alpha ~beta:0.2 ~samples:5
+  in
+  check "denser with larger alpha" true (degree 0.1 < degree 0.4)
+
+let waxman_min_delay () =
+  let t = Waxman.generate (Rng.create 2) ~n:50 ~alpha:0.3 ~beta:0.3 in
+  Graph.iter_edges
+    (fun e -> check "delay floored" true (e.Graph.delay >= Waxman.min_delay))
+    t.Waxman.graph
+
+let waxman_unit_delays () =
+  let t = Waxman.generate ~link_delay:`Unit (Rng.create 3) ~n:40 ~alpha:0.2 ~beta:0.2 in
+  Graph.iter_edges (fun e -> check_float "unit" 1.0 e.Graph.delay) t.Waxman.graph
+
+let waxman_uniform_delays () =
+  let t = Waxman.generate ~link_delay:(`Uniform (2.0, 9.0)) (Rng.create 3) ~n:40 ~alpha:0.2 ~beta:0.2 in
+  Graph.iter_edges
+    (fun e -> check "in range" true (e.Graph.delay >= 2.0 && e.Graph.delay <= 9.0))
+    t.Waxman.graph
+
+let waxman_rejects_bad_params () =
+  Alcotest.check_raises "bad alpha" (Invalid_argument "Waxman.generate: alpha out of (0, 1]")
+    (fun () -> ignore (Waxman.generate (Rng.create 1) ~n:10 ~alpha:1.5 ~beta:0.2))
+
+let waxman_calibration () =
+  let alpha =
+    Waxman.calibrate_alpha (Rng.create 11) ~n:100 ~beta:0.2 ~target_degree:6.0
+  in
+  let measured =
+    Waxman.measured_average_degree (Rng.create 13) ~n:100 ~alpha ~beta:0.2 ~samples:5
+  in
+  check "calibrated within 25%" true (abs_float (measured -. 6.0) < 1.5)
+
+(* -- Transit-stub ------------------------------------------------------ *)
+
+let ts_structure () =
+  let t = Transit_stub.generate (Rng.create 4) Transit_stub.default_params in
+  let p = Transit_stub.default_params in
+  let transit_total = p.Transit_stub.transit_domains * p.Transit_stub.transit_nodes_per_domain in
+  let stubs = transit_total * p.Transit_stub.stubs_per_transit_node in
+  check_int "stub count" stubs t.Transit_stub.stub_count;
+  check_int "node count" (transit_total + (stubs * p.Transit_stub.stub_nodes))
+    (Graph.node_count t.Transit_stub.graph);
+  check_int "transit nodes" transit_total (List.length (Transit_stub.transit_nodes t));
+  check "connected" true (Connectivity.is_connected t.Transit_stub.graph)
+
+let ts_gateways_and_agents () =
+  let t = Transit_stub.generate (Rng.create 5) Transit_stub.default_params in
+  for d = 0 to t.Transit_stub.stub_count - 1 do
+    let gw = t.Transit_stub.stub_gateway.(d) in
+    let attach = t.Transit_stub.stub_attach.(d) in
+    (match t.Transit_stub.roles.(gw) with
+    | Transit_stub.Transit _ -> ()
+    | Transit_stub.Stub _ -> Alcotest.fail "gateway must be transit");
+    (match t.Transit_stub.roles.(attach) with
+    | Transit_stub.Stub d' -> check_int "attach in own stub" d d'
+    | Transit_stub.Transit _ -> Alcotest.fail "attach must be stub");
+    check "access link exists" true (Graph.mem_edge t.Transit_stub.graph gw attach)
+  done
+
+let ts_stub_partition () =
+  let t = Transit_stub.generate (Rng.create 6) Transit_stub.default_params in
+  let total =
+    List.init t.Transit_stub.stub_count (fun d -> List.length (Transit_stub.nodes_of_stub t d))
+    |> List.fold_left ( + ) 0
+  in
+  check_int "stubs partition the non-transit nodes"
+    (Graph.node_count t.Transit_stub.graph - List.length (Transit_stub.transit_nodes t))
+    total
+
+let ts_inter_domain_links () =
+  let p = { Transit_stub.default_params with Transit_stub.transit_domains = 3 } in
+  let t = Transit_stub.generate (Rng.create 8) p in
+  check_int "one link per consecutive pair" 2 (Array.length t.Transit_stub.inter_domain_links);
+  Array.iteri
+    (fun i (eid, a, b) ->
+      let e = Graph.edge t.Transit_stub.graph eid in
+      check "edge endpoints match" true
+        ((e.Graph.u = a && e.Graph.v = b) || (e.Graph.u = b && e.Graph.v = a));
+      (match (t.Transit_stub.roles.(a), t.Transit_stub.roles.(b)) with
+      | Transit_stub.Transit da, Transit_stub.Transit db ->
+          check_int "left endpoint domain" i da;
+          check_int "right endpoint domain" (i + 1) db
+      | _ -> Alcotest.fail "inter-domain endpoints must be transit"))
+    t.Transit_stub.inter_domain_links
+
+let ts_rejects_bad_params () =
+  Alcotest.check_raises "bad params" (Invalid_argument "Transit_stub.generate: bad parameters")
+    (fun () ->
+      ignore
+        (Transit_stub.generate (Rng.create 1)
+           { Transit_stub.default_params with Transit_stub.transit_domains = 0 }))
+
+(* -- Fixtures ---------------------------------------------------------- *)
+
+let fig1_shape () =
+  let f = Fixtures.fig1 () in
+  check_int "nodes" 5 (Graph.node_count f.Fixtures.graph);
+  check_int "edges" 6 (Graph.edge_count f.Fixtures.graph)
+
+let fig4_shape () =
+  let f = Fixtures.fig4 () in
+  check_int "nodes" 8 (Graph.node_count f.Fixtures.graph);
+  check_int "edges" 10 (Graph.edge_count f.Fixtures.graph);
+  check "connected" true (Connectivity.is_connected f.Fixtures.graph)
+
+let deterministic_shapes () =
+  check_int "diamond edges" 4 (Graph.edge_count (Fixtures.diamond ()));
+  check_int "line edges" 6 (Graph.edge_count (Fixtures.line 7));
+  check_int "ring edges" 7 (Graph.edge_count (Fixtures.ring 7));
+  check_int "grid edges" 24 (Graph.edge_count (Fixtures.grid 4));
+  Alcotest.check_raises "tiny ring" (Invalid_argument "Fixtures.ring") (fun () ->
+      ignore (Fixtures.ring 2))
+
+let qcheck_waxman_connected =
+  QCheck.Test.make ~name:"waxman graphs are always connected" ~count:40
+    QCheck.(pair small_int (int_range 5 80))
+    (fun (seed, n) ->
+      let t = Waxman.generate (Rng.create seed) ~n ~alpha:0.1 ~beta:0.15 in
+      Connectivity.is_connected t.Waxman.graph)
+
+let qcheck_ts_connected =
+  QCheck.Test.make ~name:"transit-stub graphs are always connected" ~count:25 QCheck.small_int
+    (fun seed ->
+      let t = Transit_stub.generate (Rng.create seed) Transit_stub.default_params in
+      Connectivity.is_connected t.Transit_stub.graph)
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "waxman",
+        [
+          Alcotest.test_case "connected" `Quick waxman_connected;
+          Alcotest.test_case "deterministic" `Quick waxman_deterministic;
+          Alcotest.test_case "node count" `Quick waxman_node_count;
+          Alcotest.test_case "alpha raises density" `Quick waxman_alpha_monotone;
+          Alcotest.test_case "min delay floor" `Quick waxman_min_delay;
+          Alcotest.test_case "unit delays" `Quick waxman_unit_delays;
+          Alcotest.test_case "uniform delays" `Quick waxman_uniform_delays;
+          Alcotest.test_case "rejects bad params" `Quick waxman_rejects_bad_params;
+          Alcotest.test_case "degree calibration" `Slow waxman_calibration;
+        ] );
+      ( "transit_stub",
+        [
+          Alcotest.test_case "structure" `Quick ts_structure;
+          Alcotest.test_case "gateways and agents" `Quick ts_gateways_and_agents;
+          Alcotest.test_case "stub partition" `Quick ts_stub_partition;
+          Alcotest.test_case "inter-domain links" `Quick ts_inter_domain_links;
+          Alcotest.test_case "rejects bad params" `Quick ts_rejects_bad_params;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "fig1 shape" `Quick fig1_shape;
+          Alcotest.test_case "fig4 shape" `Quick fig4_shape;
+          Alcotest.test_case "deterministic shapes" `Quick deterministic_shapes;
+        ] );
+      ( "properties",
+        [
+          qcheck_case qcheck_waxman_connected;
+          qcheck_case qcheck_ts_connected;
+        ] );
+    ]
