@@ -22,7 +22,13 @@ module Recovery = Smrp_core.Recovery
 
 let scenarios =
   match Sys.getenv_opt "SMRP_BENCH_SCENARIOS" with
-  | Some v -> (try max 2 (int_of_string v) with Failure _ -> 100)
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n -> max 2 n
+      | None ->
+          Printf.eprintf
+            "warning: SMRP_BENCH_SCENARIOS=%S is not an integer; using the default of 100\n%!" v;
+          100)
   | None -> 100
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
@@ -37,9 +43,35 @@ let figures () =
   section "Figure 10 (effect of group size, 4.3.4)";
   print_string (Figures.Fig10.render (Figures.Fig10.run ~scenarios ()))
 
+let traced_latency () =
+  (* The same restoration-latency scenario with the observability layer
+     live: a ring-buffer trace sink plus per-side metric registries.  The
+     figures above run with tracing off (the no-op sink path). *)
+  let module Trace = Smrp_obs.Trace in
+  section "Restoration latency, traced variant (ring-buffer sink + metrics)";
+  let rng = Rng.create 25 in
+  let rec attempt n =
+    if n = 0 then print_string "no recoverable scenario found\n"
+    else begin
+      let s = Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF in
+      let config =
+        { Latency.default with Latency.scenario = { Latency.default.Latency.scenario with Scenario.seed = s } }
+      in
+      let sink = Trace.ring ~capacity:262144 in
+      match Latency.run ~trace_sink:sink ~with_metrics:true config with
+      | Some r ->
+          print_string (Latency.render [ r ]);
+          Printf.printf "trace events captured (ring, capacity 262144): %d\n"
+            (List.length (Trace.ring_contents sink))
+      | None -> attempt (n - 1)
+    end
+  in
+  attempt 50
+
 let extensions () =
   section "Restoration latency (packet-level; the paper's 1 motivation, [25])";
   print_string (Latency.render (Latency.run_many ~runs:10 Latency.default));
+  traced_latency ();
   section "Ablation: tree reshaping (3.2.3)";
   print_string (Ablation.Reshaping.render (Ablation.Reshaping.run ~scenarios:(max 10 (scenarios / 2)) ()));
   section "Ablation: query scheme (3.3.1)";

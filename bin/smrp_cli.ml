@@ -109,13 +109,66 @@ let scenario_cmd =
     Term.(const run $ seed_arg 1 $ n $ group $ alpha $ d_thresh)
 
 let latency_cmd =
-  let run seed runs =
-    print_string (Latency.render (Latency.run_many ~seed ~runs Latency.default))
+  let module Trace = Smrp_obs.Trace in
+  (* One observed scenario: retry derived seeds (as [run_many] does) until a
+     draw has a recoverable victim. *)
+  let run_one ?trace_sink ~with_metrics seed =
+    let rng = Smrp_rng.Rng.create seed in
+    let rec attempt n =
+      if n = 0 then None
+      else begin
+        let s = Int64.to_int (Smrp_rng.Rng.bits64 rng) land 0x3FFFFFFF in
+        let config =
+          { Latency.default with Latency.scenario = { Latency.default.Latency.scenario with Scenario.seed = s } }
+        in
+        match Latency.run ?trace_sink ~with_metrics config with
+        | Some r -> Some r
+        | None -> attempt (n - 1)
+      end
+    in
+    attempt 50
+  in
+  let run seed runs trace metrics =
+    if trace = None && not metrics then
+      print_string (Latency.render (Latency.run_many ~seed ~runs Latency.default))
+    else begin
+      let open_trace file =
+        try open_out file
+        with Sys_error msg ->
+          Printf.eprintf "latency: cannot open trace file: %s\n%!" msg;
+          exit 1
+      in
+      let oc = Option.map open_trace trace in
+      let trace_sink = Option.map Trace.channel oc in
+      (match run_one ?trace_sink ~with_metrics:metrics seed with
+      | Some r -> print_string (Latency.render [ r ])
+      | None -> prerr_endline "latency: no recoverable scenario found for this seed");
+      Option.iter close_out oc;
+      Option.iter
+        (Printf.printf
+           "trace written to %s (Chrome trace_event JSONL; load in Perfetto or chrome://tracing)\n")
+        trace
+    end
   in
   let runs = Arg.(value & opt int 10 & info [ "runs" ] ~docv:"N" ~doc:"Topologies to simulate.") in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Trace one scenario (both protocol sides) to $(docv) as Chrome trace_event JSONL, \
+             keyed on the simulation clock.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Run one scenario and dump engine/net/protocol metric registries per side.")
+  in
   Cmd.v
     (Cmd.info "latency" ~doc:"Packet-level restoration latency, SMRP vs PIM/OSPF.")
-    Term.(const run $ seed_arg 25 $ runs)
+    Term.(const run $ seed_arg 25 $ runs $ trace $ metrics)
 
 let ablations_cmd =
   let run seed scenarios =

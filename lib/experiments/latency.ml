@@ -7,6 +7,9 @@ module Protocol = Smrp_sim.Protocol
 module Stats = Smrp_metrics.Stats
 module Table = Smrp_metrics.Table
 module Waxman = Smrp_topology.Waxman
+module Obs = Smrp_obs.Obs
+module Trace = Smrp_obs.Trace
+module Timeline = Smrp_obs.Timeline
 
 type config = {
   scenario : Scenario.config;
@@ -31,12 +34,14 @@ type side_result = {
   mean_detection : float;
   mean_restoration : float;
   control_messages : int;
+  episodes : Timeline.episode list;
+  metrics : string option;
 }
 
 type result = { seed : int; smrp : side_result; pim : side_result }
 
-let run_side config ~graph ~source ~members ~victim strategy =
-  let engine = Engine.create () in
+let run_side ?obs config ~graph ~source ~members ~victim strategy =
+  let engine = Engine.create ?obs () in
   let proto_config =
     {
       Protocol.default_config with
@@ -69,9 +74,11 @@ let run_side config ~graph ~source ~members ~victim strategy =
     mean_detection = (match detections with [] -> 0.0 | _ -> Stats.mean detections);
     mean_restoration = (match restorations with [] -> 0.0 | _ -> Stats.mean restorations);
     control_messages = Protocol.control_messages proto - before;
+    episodes = Protocol.timeline proto;
+    metrics = Option.map (fun o -> Smrp_obs.Metrics.render (Obs.metrics o)) obs;
   }
 
-let run config =
+let run ?trace_sink ?(with_metrics = false) config =
   let sc = config.scenario in
   let rng = Rng.create sc.Scenario.seed in
   let topo_rng = Rng.split rng in
@@ -108,11 +115,26 @@ let run config =
   | [] -> None (* every worst-case link is a bridge: nothing to measure *)
   | candidates ->
       let victim = List.nth candidates (Rng.int member_rng (List.length candidates)) in
+      (* One observability context per side: distinct trace pids let both
+         simulations share a single trace file, and separate registries keep
+         the metric streams comparable. *)
+      let side name pid strategy =
+        let obs =
+          if trace_sink = None && not with_metrics then None
+          else begin
+            let o = Obs.create ?sink:trace_sink ~pid () in
+            let tr = Obs.trace o in
+            if Trace.enabled tr then Trace.process_name tr name;
+            Some o
+          end
+        in
+        run_side ?obs config ~graph ~source ~members ~victim strategy
+      in
       Some
         {
           seed = sc.Scenario.seed;
-          smrp = run_side config ~graph ~source ~members ~victim Protocol.Local;
-          pim = run_side config ~graph ~source ~members ~victim Protocol.Global;
+          smrp = side "SMRP (local)" 1 Protocol.Local;
+          pim = side "PIM (global)" 2 Protocol.Global;
         }
 
 let run_many ?(seed = 25) ?(runs = 10) config =
@@ -128,7 +150,7 @@ let run_many ?(seed = 25) ?(runs = 10) config =
   in
   collect [] runs (5 * runs)
 
-let render results =
+let rec render results =
   let t =
     Table.create
       ~columns:
@@ -155,5 +177,75 @@ let render results =
   let pim_means = List.map (fun r -> r.pim.mean_restoration) results in
   Printf.sprintf
     "Restoration latency: SMRP local detour vs PIM global detour (packet-level)\n%s\n\
-     mean restoration: SMRP %.2fs, PIM %.2fs (PIM is gated by OSPF reconvergence ~%.0fs, [25])\n"
-    (Table.render t) (Stats.mean smrp_means) (Stats.mean pim_means) 5.0
+     mean restoration: SMRP %.2fs, PIM %.2fs (PIM is gated by OSPF reconvergence ~%.0fs, [25])\n\n%s"
+    (Table.render t) (Stats.mean smrp_means) (Stats.mean pim_means) 5.0 (render_phases results)
+
+and render_phases results =
+  (* The §3.2 decomposition behind the scalars above: where each disrupted
+     member's restoration time went, per recovery step. *)
+  let t =
+    Table.create
+      ~columns:
+        [
+          "seed"; "protocol"; "member"; "detect (s)"; "signal (s)"; "install (s)";
+          "1st data (s)"; "total (s)"; "attempts";
+        ]
+  in
+  let cell = function Some d -> Printf.sprintf "%.3f" d | None -> "-" in
+  let acc = Hashtbl.create 16 in
+  let note name phase dur =
+    Option.iter
+      (fun d ->
+        let key = (name, phase) in
+        Hashtbl.replace acc key (d :: Option.value ~default:[] (Hashtbl.find_opt acc key)))
+      dur
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (name, side) ->
+          List.iter
+            (fun (e : Timeline.episode) ->
+              let d = Timeline.phase_durations e in
+              List.iter (fun (p, dur) -> note name p dur) d;
+              Table.add_row t
+                [
+                  string_of_int r.seed;
+                  name;
+                  string_of_int e.Timeline.member;
+                  cell (List.assoc Timeline.Detection d);
+                  cell (List.assoc Timeline.Signalling d);
+                  cell (List.assoc Timeline.Installation d);
+                  cell (List.assoc Timeline.First_data d);
+                  cell (Timeline.total e);
+                  string_of_int e.Timeline.attempts;
+                ])
+            side.episodes)
+        [ ("SMRP (local)", r.smrp); ("PIM (global)", r.pim) ])
+    results;
+  let mean_line name =
+    let m phase =
+      match Hashtbl.find_opt acc (name, phase) with
+      | Some ds -> Printf.sprintf "%s %.3fs" (Timeline.phase_name phase) (Stats.mean ds)
+      | None -> Printf.sprintf "%s -" (Timeline.phase_name phase)
+    in
+    Printf.sprintf "  %-13s %s\n" name (String.concat ", " (List.map m Timeline.phases))
+  in
+  let metrics_blocks =
+    List.concat_map
+      (fun r ->
+        List.filter_map
+          (fun (name, side) ->
+            Option.map
+              (fun m -> Printf.sprintf "\nmetrics, seed %d, %s:\n%s" r.seed name m)
+              side.metrics)
+          [ ("SMRP (local)", r.smrp); ("PIM (global)", r.pim) ])
+      results
+  in
+  Printf.sprintf
+    "Recovery phase breakdown (failure -> detection -> signalling -> installation -> first data)\n\
+     %s\nphase means:\n%s%s%s"
+    (Table.render t)
+    (mean_line "SMRP (local)")
+    (mean_line "PIM (global)")
+    (String.concat "" metrics_blocks)

@@ -25,13 +25,24 @@ type side_result = {
   mean_detection : float;  (** Failure → starvation/hello detection. *)
   mean_restoration : float;  (** Failure → first data after recovery. *)
   control_messages : int;
+  episodes : Smrp_obs.Timeline.episode list;
+      (** Per-member recovery timelines: the §3.2 detection / signalling /
+          installation / first-data decomposition of [mean_restoration]. *)
+  metrics : string option;
+      (** Rendered metrics registry, when the run was started
+          [~with_metrics:true]. *)
 }
 
 type result = { seed : int; smrp : side_result; pim : side_result }
 
-val run : config -> result option
+val run : ?trace_sink:Smrp_obs.Trace.sink -> ?with_metrics:bool -> config -> result option
 (** [None] when every member's worst-case link is a graph bridge (recovery
-    impossible); {!run_many} skips such draws. *)
+    impossible); {!run_many} skips such draws.
+
+    [trace_sink] turns on simulation-clock tracing for both sides into the
+    one sink — SMRP as trace pid 1, PIM as pid 2 (process names included),
+    in Chrome [trace_event] form.  [with_metrics] (default false) collects
+    engine/net/protocol metrics per side into {!side_result.metrics}. *)
 
 val run_many : ?seed:int -> ?runs:int -> config -> result list
 

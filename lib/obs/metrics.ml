@@ -1,0 +1,141 @@
+module Counter = struct
+  type t = { mutable n : int }
+
+  let incr c = c.n <- c.n + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
+    c.n <- c.n + n
+
+  let value c = c.n
+end
+
+module Gauge = struct
+  type t = { mutable last : float; mutable max : float }
+
+  let set g v =
+    g.last <- v;
+    if v > g.max then g.max <- v
+
+  let value g = g.last
+
+  let max_value g = g.max
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array; (* strictly increasing upper bounds *)
+    counts : int array; (* length = Array.length bounds + 1 (overflow) *)
+    mutable count : int;
+    mutable sum : float;
+  }
+
+  let make ~base ~lowest ~n =
+    if base <= 1.0 then invalid_arg "Metrics.histogram: base must exceed 1";
+    if lowest <= 0.0 then invalid_arg "Metrics.histogram: lowest must be positive";
+    if n < 1 then invalid_arg "Metrics.histogram: need at least one bucket";
+    let bounds = Array.make n lowest in
+    for i = 1 to n - 1 do
+      bounds.(i) <- bounds.(i - 1) *. base
+    done;
+    { bounds; counts = Array.make (n + 1) 0; count = 0; sum = 0.0 }
+
+  (* First bucket whose bound covers [v]; linear scan keeps the edge test
+     identical to the bound construction (no log rounding). *)
+  let index h v =
+    let n = Array.length h.bounds in
+    let rec find i = if i = n || v <= h.bounds.(i) then i else find (i + 1) in
+    find 0
+
+  let observe h v =
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    let i = index h v in
+    h.counts.(i) <- h.counts.(i) + 1
+
+  let count h = h.count
+
+  let sum h = h.sum
+
+  let buckets h =
+    let n = Array.length h.bounds in
+    List.init (n + 1) (fun i ->
+        ((if i = n then infinity else h.bounds.(i)), h.counts.(i)))
+end
+
+type instrument = C of Counter.t | G of Gauge.t | H of Histogram.t
+
+type t = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let kind = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register t name inst wanted =
+  match Hashtbl.find_opt t.tbl name with
+  | Some existing ->
+      if kind existing <> wanted then
+        invalid_arg
+          (Printf.sprintf "Metrics: %S already registered as a %s" name (kind existing));
+      existing
+  | None ->
+      Hashtbl.add t.tbl name inst;
+      inst
+
+let counter t name =
+  match register t name (C { Counter.n = 0 }) "counter" with
+  | C c -> c
+  | _ -> assert false
+
+let gauge t name =
+  match register t name (G { Gauge.last = 0.0; max = neg_infinity }) "gauge" with
+  | G g -> g
+  | _ -> assert false
+
+let histogram t ?(base = 10.0) ?(lowest = 1e-3) ?(count = 8) name =
+  match register t name (H (Histogram.make ~base ~lowest ~n:count)) "histogram" with
+  | H h -> h
+  | _ -> assert false
+
+type value =
+  | Counter_value of int
+  | Gauge_value of { last : float; max : float }
+  | Histogram_value of { count : int; sum : float; buckets : (float * int) list }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name inst acc ->
+      let v =
+        match inst with
+        | C c -> Counter_value (Counter.value c)
+        | G g -> Gauge_value { last = Gauge.value g; max = Gauge.max_value g }
+        | H h ->
+            Histogram_value
+              { count = Histogram.count h; sum = Histogram.sum h; buckets = Histogram.buckets h }
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_value n -> Buffer.add_string buf (Printf.sprintf "counter    %-40s %d\n" name n)
+      | Gauge_value { last; max } ->
+          Buffer.add_string buf
+            (Printf.sprintf "gauge      %-40s %g (max %g)\n" name last
+               (if max = neg_infinity then last else max))
+      | Histogram_value { count; sum; buckets } ->
+          Buffer.add_string buf
+            (Printf.sprintf "histogram  %-40s count=%d sum=%g\n" name count sum);
+          List.iter
+            (fun (bound, n) ->
+              if n > 0 then
+                Buffer.add_string buf
+                  (if bound = infinity then Printf.sprintf "             le +inf : %d\n" n
+                   else Printf.sprintf "             le %-6g: %d\n" bound n))
+            buckets)
+    (snapshot t);
+  Buffer.contents buf

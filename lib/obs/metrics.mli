@@ -1,0 +1,78 @@
+(** Metrics registry: named counters, gauges and histograms with a
+    deterministic snapshot/render order (sorted by name), so two identical
+    seeded simulation runs produce byte-identical metric dumps.
+
+    Instruments are created through a registry and cached by name: asking
+    for the same name twice returns the same instrument; asking for an
+    existing name with a different kind raises [Invalid_argument]. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** [add c n] with [n >= 0]. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+
+  val value : t -> float
+
+  val max_value : t -> float
+  (** High-water mark over the gauge's lifetime ([neg_infinity] before the
+      first [set]). *)
+end
+
+module Histogram : sig
+  (** Fixed log-scale buckets: bucket [i] (0-based) counts observations
+      [v] with [lowest *. base^(i-1) < v <= lowest *. base^i], bucket 0
+      counts [v <= lowest], and a final overflow bucket counts everything
+      above the largest bound.  Bucket edges are found by repeated
+      multiplication, not [log], so bucketing is deterministic across
+      platforms. *)
+
+  type t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val buckets : t -> (float * int) list
+  (** [(upper_bound, count)] per bucket, in increasing bound order; the
+      overflow bucket reports [infinity] as its bound.  Counts are
+      per-bucket, not cumulative. *)
+end
+
+val counter : t -> string -> Counter.t
+
+val gauge : t -> string -> Gauge.t
+
+val histogram : t -> ?base:float -> ?lowest:float -> ?count:int -> string -> Histogram.t
+(** Defaults: [base = 10.], [lowest = 1e-3], [count = 8] bounds (plus the
+    overflow bucket) — with the defaults, bounds 1e-3 .. 1e4.  [base > 1],
+    [lowest > 0], [count >= 1]. *)
+
+type value =
+  | Counter_value of int
+  | Gauge_value of { last : float; max : float }
+  | Histogram_value of { count : int; sum : float; buckets : (float * int) list }
+
+val snapshot : t -> (string * value) list
+(** All instruments, sorted by name. *)
+
+val render : t -> string
+(** Human-readable dump of {!snapshot}, one instrument per line (histograms
+    add one indented line per non-empty bucket). *)

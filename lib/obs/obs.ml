@@ -1,0 +1,8 @@
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?(pid = 0) ?(sink = Trace.noop) () =
+  { metrics = Metrics.create (); trace = Trace.create ~pid sink }
+
+let metrics t = t.metrics
+
+let trace t = t.trace

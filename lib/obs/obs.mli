@@ -1,0 +1,14 @@
+(** Observability context: one {!Metrics} registry plus one {!Trace} tracer,
+    threaded through the simulator ([Engine], [Net], [Protocol]) as a single
+    optional value.  Constructing a context with the default {!Trace.noop}
+    sink still collects metrics; instrumented code checks
+    [Trace.enabled (trace obs)] before doing per-event work. *)
+
+type t
+
+val create : ?pid:int -> ?sink:Trace.sink -> unit -> t
+(** Defaults: [pid = 0], [sink = Trace.noop]. *)
+
+val metrics : t -> Metrics.t
+
+val trace : t -> Trace.t

@@ -1,0 +1,65 @@
+(** Recovery-episode timelines: per-member milestones from a persistent
+    failure to data resumption, decomposed into the paper's §3.2 steps —
+
+    - {b detection}: failure → the member declares disruption (starvation
+      or hello timeout);
+    - {b signalling}: declaration → the (last) detour [Join_Req] leaves the
+      member (for a global/PIM recovery this includes the unicast
+      reconvergence wait, and for either strategy any retry backoff);
+    - {b installation}: signal → forwarding state installed at the merge
+      node (the join has propagated hop-by-hop up the detour);
+    - {b first data}: installation → the first data packet arrives over the
+      restored branch.
+
+    The recorder is driven by the protocol automata and ignores milestones
+    for members without an open episode (so periodic join refreshes after
+    restoration don't perturb the record). *)
+
+type episode = {
+  member : int;
+  failure_at : float;
+  detected_at : float option;
+  signalled_at : float option;
+  installed_at : float option;
+  first_data_at : float option;
+  attempts : int;  (** Detour signalling attempts (> 1 when recoveries raced). *)
+}
+
+type phase = Detection | Signalling | Installation | First_data
+
+val phases : phase list
+(** In timeline order. *)
+
+val phase_name : phase -> string
+
+val phase_durations : episode -> (phase * float option) list
+(** Consecutive milestone deltas, [None] where a milestone is missing. *)
+
+val total : episode -> float option
+(** Failure → first data, when the episode completed. *)
+
+type recorder
+
+val create : unit -> recorder
+
+val note_failure : recorder -> ts:float -> unit
+
+val note_detected : recorder -> member:int -> ts:float -> unit
+(** Opens the member's episode; later calls for the same member are ignored
+    (first detection wins). No-op before {!note_failure}. *)
+
+val note_signalled : recorder -> member:int -> ts:float -> unit
+
+val note_installed : recorder -> member:int -> ts:float -> unit
+
+val note_first_data : recorder -> member:int -> ts:float -> unit
+(** Closes the episode; every milestone for a closed episode is ignored. *)
+
+val episodes : recorder -> episode list
+(** Sorted by member id. *)
+
+val episode : recorder -> int -> episode option
+(** One member's episode (open or closed), when it exists. *)
+
+val render : episode list -> string
+(** Fixed-width per-member phase table (durations in seconds). *)

@@ -1,0 +1,147 @@
+type phase =
+  | Begin
+  | End
+  | Instant
+  | Complete of float
+  | Counter_sample of float
+  | Metadata
+
+type arg = Str of string | Int of int | Float of float
+
+type event = {
+  ts : float;
+  name : string;
+  cat : string;
+  ph : phase;
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+type sink =
+  | Noop
+  | Ring of { capacity : int; q : event Queue.t }
+  | Emit of (string -> unit)
+
+let noop = Noop
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Trace.ring: capacity must be positive";
+  Ring { capacity; q = Queue.create () }
+
+let ring_contents = function
+  | Ring { q; _ } -> List.of_seq (Queue.to_seq q)
+  | Noop | Emit _ -> []
+
+let jsonl f = Emit f
+
+let channel oc =
+  Emit
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+
+type t = { sink : sink; pid : int }
+
+let null = { sink = Noop; pid = 0 }
+
+let create ?(pid = 0) sink = { sink; pid }
+
+let enabled t = t.sink <> Noop
+
+(* -- JSON rendering ----------------------------------------------------- *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_json e =
+  let buf = Buffer.create 128 in
+  let field_str key v =
+    Buffer.add_string buf (Printf.sprintf ",\"%s\":\"" key);
+    escape_into buf v;
+    Buffer.add_char buf '"'
+  in
+  let ph, extra =
+    match e.ph with
+    | Begin -> ("B", None)
+    | End -> ("E", None)
+    | Instant -> ("i", None)
+    | Complete dur -> ("X", Some (Printf.sprintf "\"dur\":%s" (json_float (dur *. 1e6))))
+    | Counter_sample v -> ("C", Some (Printf.sprintf "\"cv\":%s" (json_float v)))
+    | Metadata -> ("M", None)
+  in
+  Buffer.add_string buf (Printf.sprintf "{\"ph\":\"%s\",\"ts\":%s" ph (json_float (e.ts *. 1e6)));
+  (match extra with
+  | Some s ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf s
+  | None -> ());
+  field_str "name" e.name;
+  if e.cat <> "" then field_str "cat" e.cat;
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.pid e.tid);
+  let args =
+    (* Chrome renders a counter track from args; fold the sample value in. *)
+    match e.ph with
+    | Counter_sample v -> ("value", Float v) :: e.args
+    | _ -> e.args
+  in
+  if args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\":";
+        match v with
+        | Str s ->
+            Buffer.add_char buf '"';
+            escape_into buf s;
+            Buffer.add_char buf '"'
+        | Int n -> Buffer.add_string buf (string_of_int n)
+        | Float f -> Buffer.add_string buf (json_float f))
+      args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* -- Emission ----------------------------------------------------------- *)
+
+let emit t e =
+  match t.sink with
+  | Noop -> ()
+  | Ring { capacity; q } ->
+      Queue.push e q;
+      if Queue.length q > capacity then ignore (Queue.pop q)
+  | Emit f -> f (to_json e)
+
+let event t ~ts ~ph ?(cat = "") ?(tid = 0) ?(args = []) name =
+  if t.sink <> Noop then emit t { ts; name; cat; ph; pid = t.pid; tid; args }
+
+let instant t ~ts ?cat ?tid ?args name = event t ~ts ~ph:Instant ?cat ?tid ?args name
+
+let begin_span t ~ts ?cat ?tid ?args name = event t ~ts ~ph:Begin ?cat ?tid ?args name
+
+let end_span t ~ts ?tid name = event t ~ts ~ph:End ?tid name
+
+let complete t ~ts ~dur ?cat ?tid ?args name = event t ~ts ~ph:(Complete dur) ?cat ?tid ?args name
+
+let counter t ~ts ?tid name v = event t ~ts ~ph:(Counter_sample v) ?tid name
+
+let process_name t name =
+  event t ~ts:0.0 ~ph:Metadata ~args:[ ("name", Str name) ] "process_name"

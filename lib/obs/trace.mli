@@ -1,0 +1,78 @@
+(** Span/event tracer keyed on the {e simulation} clock, so traces from two
+    identical seeded runs are byte-identical and reproducible.  Events carry
+    Chrome [trace_event]-style fields ([ph], [pid], [tid], [cat], [args]);
+    the JSONL sink writes one Chrome trace event per line (Perfetto and
+    [chrome://tracing] load this directly; wrapping the lines in [\[...\]]
+    yields the strict JSON-array format).
+
+    Timestamps are simulated seconds; the JSON writer converts to the
+    microseconds Chrome expects.  With the {!noop} sink every emit function
+    returns immediately ({!enabled} is [false]), so instrumentation costs a
+    branch when tracing is off. *)
+
+type phase =
+  | Begin  (** Span open ([ph:"B"]); close with a matching {!End} on the same track. *)
+  | End  (** Span close ([ph:"E"]). *)
+  | Instant  (** Point event ([ph:"i"]). *)
+  | Complete of float  (** Span with a known duration in seconds ([ph:"X"]). *)
+  | Counter_sample of float  (** Counter track sample ([ph:"C"]). *)
+  | Metadata  (** Process/thread naming ([ph:"M"]). *)
+
+type arg = Str of string | Int of int | Float of float
+
+type event = {
+  ts : float;  (** Simulated seconds. *)
+  name : string;
+  cat : string;
+  ph : phase;
+  pid : int;
+  tid : int;
+  args : (string * arg) list;
+}
+
+type sink
+
+val noop : sink
+
+val ring : capacity:int -> sink
+(** In-memory ring buffer keeping the last [capacity] events. *)
+
+val ring_contents : sink -> event list
+(** Buffered events, oldest first; [[]] for non-ring sinks. *)
+
+val jsonl : (string -> unit) -> sink
+(** Calls the function once per event with its JSON rendering (no trailing
+    newline). *)
+
+val channel : out_channel -> sink
+(** JSONL to a channel, one event per line. *)
+
+type t
+
+val null : t
+(** A tracer over the {!noop} sink. *)
+
+val create : ?pid:int -> sink -> t
+(** [pid] (default 0) labels every event from this tracer — use distinct
+    pids to merge several simulations into one trace file. *)
+
+val enabled : t -> bool
+(** [false] iff the sink is {!noop}; check before building expensive args. *)
+
+val instant : t -> ts:float -> ?cat:string -> ?tid:int -> ?args:(string * arg) list -> string -> unit
+
+val begin_span : t -> ts:float -> ?cat:string -> ?tid:int -> ?args:(string * arg) list -> string -> unit
+
+val end_span : t -> ts:float -> ?tid:int -> string -> unit
+
+val complete : t -> ts:float -> dur:float -> ?cat:string -> ?tid:int -> ?args:(string * arg) list -> string -> unit
+(** A span whose duration ([dur], seconds) is known at emit time. *)
+
+val counter : t -> ts:float -> ?tid:int -> string -> float -> unit
+(** Sample a counter track (renders as a filled area in trace viewers). *)
+
+val process_name : t -> string -> unit
+(** Metadata event naming this tracer's [pid] in viewers. *)
+
+val to_json : event -> string
+(** One Chrome [trace_event] object (single line, no trailing newline). *)

@@ -1,12 +1,42 @@
 module Heap = Smrp_graph.Heap
+module Metrics = Smrp_obs.Metrics
 
 type handle = { mutable cancelled : bool }
 
 type event = { handle : handle; action : unit -> unit }
 
-type t = { mutable clock : float; queue : event Heap.t }
+(* Pre-resolved instruments so the per-event cost with observability on is a
+   field increment, not a registry lookup. *)
+type meters = {
+  scheduled : Metrics.Counter.t;
+  fired : Metrics.Counter.t;
+  skipped : Metrics.Counter.t; (* popped already-cancelled *)
+  depth : Metrics.Gauge.t;
+}
 
-let create () = { clock = 0.0; queue = Heap.create () }
+type t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  obs : Smrp_obs.Obs.t option;
+  meters : meters option;
+}
+
+let create ?obs () =
+  let meters =
+    Option.map
+      (fun o ->
+        let m = Smrp_obs.Obs.metrics o in
+        {
+          scheduled = Metrics.counter m "engine.events_scheduled";
+          fired = Metrics.counter m "engine.events_fired";
+          skipped = Metrics.counter m "engine.events_cancelled";
+          depth = Metrics.gauge m "engine.queue_depth";
+        })
+      obs
+  in
+  { clock = 0.0; queue = Heap.create (); obs; meters }
+
+let obs t = t.obs
 
 let now t = t.clock
 
@@ -14,6 +44,11 @@ let schedule_at t ~time action =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   let handle = { cancelled = false } in
   Heap.add t.queue time { handle; action };
+  (match t.meters with
+  | Some m ->
+      Metrics.Counter.incr m.scheduled;
+      Metrics.Gauge.set m.depth (float_of_int (Heap.length t.queue))
+  | None -> ());
   handle
 
 let schedule t ~delay action =
@@ -43,6 +78,11 @@ let step t =
   | None -> false
   | Some (time, ev) ->
       t.clock <- time;
+      (match t.meters with
+      | Some m ->
+          Metrics.Gauge.set m.depth (float_of_int (Heap.length t.queue));
+          Metrics.Counter.incr (if ev.handle.cancelled then m.skipped else m.fired)
+      | None -> ());
       if not ev.handle.cancelled then ev.action ();
       true
 

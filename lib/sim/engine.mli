@@ -7,7 +7,15 @@ type t
 type handle
 (** A cancellable scheduled event. *)
 
-val create : unit -> t
+val create : ?obs:Smrp_obs.Obs.t -> unit -> t
+(** With [obs], the engine maintains [engine.events_scheduled] /
+    [engine.events_fired] / [engine.events_cancelled] counters and an
+    [engine.queue_depth] gauge in the context's metrics registry. *)
+
+val obs : t -> Smrp_obs.Obs.t option
+(** The context given at creation: layers built over the engine ([Net],
+    [Protocol]) inherit it by default, so one [create ~obs] instruments the
+    whole simulation. *)
 
 val now : t -> float
 

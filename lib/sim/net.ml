@@ -1,4 +1,14 @@
 module Graph = Smrp_graph.Graph
+module Metrics = Smrp_obs.Metrics
+module Trace = Smrp_obs.Trace
+
+type meters = {
+  m_sent : Metrics.Counter.t;
+  m_delivered : Metrics.Counter.t;
+  m_lost : Metrics.Counter.t;
+  m_dropped_send : Metrics.Counter.t;
+  m_dropped_flight : Metrics.Counter.t;
+}
 
 type 'msg t = {
   engine : Engine.t;
@@ -8,10 +18,30 @@ type 'msg t = {
   node_down : bool array;
   mutable loss : (Smrp_rng.Rng.t * float) option;
   mutable frames_sent : int;
+  mutable frames_delivered : int;
   mutable frames_lost : int;
+  mutable dropped_send_failure : int; (* rejected at send: link/endpoint down *)
+  mutable dropped_in_flight : int; (* link/endpoint died during propagation *)
+  msg_label : ('msg -> string) option;
+  trace : Trace.t;
+  meters : meters option;
 }
 
-let create engine graph ~handler =
+let create ?obs ?msg_label engine graph ~handler =
+  let obs = match obs with Some _ as o -> o | None -> Engine.obs engine in
+  let meters =
+    Option.map
+      (fun o ->
+        let m = Smrp_obs.Obs.metrics o in
+        {
+          m_sent = Metrics.counter m "net.frames_sent";
+          m_delivered = Metrics.counter m "net.frames_delivered";
+          m_lost = Metrics.counter m "net.frames_lost";
+          m_dropped_send = Metrics.counter m "net.frames_dropped_failure_at_send";
+          m_dropped_flight = Metrics.counter m "net.frames_dropped_failure_in_flight";
+        })
+      obs
+  in
   {
     engine;
     graph;
@@ -20,7 +50,13 @@ let create engine graph ~handler =
     node_down = Array.make (Graph.node_count graph) false;
     loss = None;
     frames_sent = 0;
+    frames_delivered = 0;
     frames_lost = 0;
+    dropped_send_failure = 0;
+    dropped_in_flight = 0;
+    msg_label;
+    trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
+    meters;
   }
 
 let engine t = t.engine
@@ -31,28 +67,64 @@ let link_up t eid = not t.link_down.(eid)
 
 let node_up t v = not t.node_down.(v)
 
+let label t msg = match t.msg_label with Some f -> f msg | None -> "frame"
+
+let meter t f = match t.meters with Some m -> Metrics.Counter.incr (f m) | None -> ()
+
 let send t ~src ~dst msg =
   match Graph.edge_between t.graph src dst with
   | None -> invalid_arg "Net.send: nodes not adjacent"
   | Some e ->
       let eid = e.Graph.id in
-      if t.link_down.(eid) || t.node_down.(src) || t.node_down.(dst) then false
+      if t.link_down.(eid) || t.node_down.(src) || t.node_down.(dst) then begin
+        t.dropped_send_failure <- t.dropped_send_failure + 1;
+        meter t (fun m -> m.m_dropped_send);
+        if Trace.enabled t.trace then
+          Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
+            ~args:[ ("dst", Trace.Int dst) ]
+            ("drop.down:" ^ label t msg);
+        false
+      end
       else begin
         t.frames_sent <- t.frames_sent + 1;
+        meter t (fun m -> m.m_sent);
         let lost =
           match t.loss with
           | Some (rng, rate) when Smrp_rng.Rng.float rng 1.0 < rate ->
               t.frames_lost <- t.frames_lost + 1;
+              meter t (fun m -> m.m_lost);
+              if Trace.enabled t.trace then
+                Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
+                  ~args:[ ("dst", Trace.Int dst) ]
+                  ("drop.loss:" ^ label t msg);
               true
           | _ -> false
         in
-        if not lost then
+        if not lost then begin
+          let sent_at = Engine.now t.engine in
           ignore
             (Engine.schedule t.engine ~delay:e.Graph.delay (fun () ->
                  (* The wire may have gone down while the frame was in
                     flight. *)
                  if (not t.link_down.(eid)) && (not t.node_down.(src)) && not t.node_down.(dst)
-                 then t.handler t ~at:dst ~from:src msg));
+                 then begin
+                   t.frames_delivered <- t.frames_delivered + 1;
+                   meter t (fun m -> m.m_delivered);
+                   if Trace.enabled t.trace then
+                     Trace.complete t.trace ~ts:sent_at ~dur:e.Graph.delay ~cat:"net" ~tid:src
+                       ~args:[ ("dst", Trace.Int dst) ]
+                       (label t msg);
+                   t.handler t ~at:dst ~from:src msg
+                 end
+                 else begin
+                   t.dropped_in_flight <- t.dropped_in_flight + 1;
+                   meter t (fun m -> m.m_dropped_flight);
+                   if Trace.enabled t.trace then
+                     Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
+                       ~args:[ ("dst", Trace.Int dst) ]
+                       ("drop.in_flight:" ^ label t msg)
+                 end))
+        end;
         true
       end
 
@@ -76,4 +148,17 @@ let set_loss t ~rng ~rate =
 
 let frames_sent t = t.frames_sent
 
+let frames_delivered t = t.frames_delivered
+
 let frames_lost t = t.frames_lost
+
+let frames_dropped_failure t = t.dropped_send_failure + t.dropped_in_flight
+
+let counters t =
+  [
+    ("sent", t.frames_sent);
+    ("delivered", t.frames_delivered);
+    ("lost", t.frames_lost);
+    ("dropped_failure_at_send", t.dropped_send_failure);
+    ("dropped_failure_in_flight", t.dropped_in_flight);
+  ]

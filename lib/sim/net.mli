@@ -8,11 +8,19 @@
 type 'msg t
 
 val create :
+  ?obs:Smrp_obs.Obs.t ->
+  ?msg_label:('msg -> string) ->
   Engine.t ->
   Smrp_graph.Graph.t ->
   handler:('msg t -> at:int -> from:int -> 'msg -> unit) ->
   'msg t
-(** [handler] is invoked at delivery time on the receiving node. *)
+(** [handler] is invoked at delivery time on the receiving node.
+
+    [obs] defaults to the engine's context ({!Engine.obs}); when present the
+    net maintains [net.frames_*] counters and, when its trace sink is live,
+    emits one trace event per frame (a complete span over the propagation
+    delay on delivery, an instant on any drop), named by [msg_label]
+    (default ["frame"]) and placed on the sending node's track. *)
 
 val engine : 'msg t -> Engine.t
 
@@ -50,5 +58,19 @@ val set_loss : 'msg t -> rng:Smrp_rng.Rng.t -> rate:float -> unit
 val frames_sent : 'msg t -> int
 (** Total frames accepted onto a wire: the control-overhead metric. *)
 
+val frames_delivered : 'msg t -> int
+(** Frames that reached their destination's handler. *)
+
 val frames_lost : 'msg t -> int
-(** Frames dropped by the loss process (not by failures). *)
+(** Frames dropped by the Bernoulli loss process (not by failures). *)
+
+val frames_dropped_failure : 'msg t -> int
+(** Frames dropped because a link or endpoint was down — rejected at send
+    time or killed in flight — as opposed to Bernoulli loss. *)
+
+val counters : 'msg t -> (string * int) list
+(** Frame accounting by outcome: [sent], [delivered], [lost] (Bernoulli),
+    [dropped_failure_at_send], [dropped_failure_in_flight].  [sent] counts
+    frames accepted onto a wire, so
+    [sent = delivered + lost + dropped_failure_in_flight + in-flight] and
+    send-time failure drops are outside [sent]. *)

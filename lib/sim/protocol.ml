@@ -5,6 +5,9 @@ module Smrp = Smrp_core.Smrp
 module Failure = Smrp_core.Failure
 module Recovery = Smrp_core.Recovery
 module Reshape = Smrp_core.Reshape
+module Metrics = Smrp_obs.Metrics
+module Trace = Smrp_obs.Trace
+module Timeline = Smrp_obs.Timeline
 
 type recovery_strategy = Local | Global
 
@@ -77,6 +80,19 @@ type member_report = {
   data_received : int;
 }
 
+(* Pre-resolved instruments (message counters by type, recovery-phase
+   histograms) so the hot send path pays one increment when metrics are on. *)
+type meters = {
+  p_hello : Metrics.Counter.t;
+  p_query : Metrics.Counter.t;
+  p_join : Metrics.Counter.t;
+  p_refresh : Metrics.Counter.t;
+  p_prune : Metrics.Counter.t;
+  p_data : Metrics.Counter.t;
+  h_phase : (Timeline.phase * Metrics.Histogram.t) list;
+  h_total : Metrics.Histogram.t;
+}
+
 type t = {
   engine : Engine.t;
   config : config;
@@ -95,6 +111,9 @@ type t = {
   mutable refresh_sent : int;
   mutable prune_sent : int;
   mutable next_seq : int;
+  timeline : Timeline.recorder;
+  trace : Trace.t;
+  meters : meters option;
 }
 
 let net t = Option.get t.net
@@ -118,24 +137,42 @@ let fresh_node () =
     restored_at = None;
   }
 
+let msg_label = function
+  | Hello -> "hello"
+  | Join_req _ -> "join_req"
+  | Query _ -> "query"
+  | Query_resp _ -> "query_resp"
+  | Refresh -> "refresh"
+  | Prune -> "prune"
+  | Data _ -> "data"
+
 let send t ~src ~dst msg =
+  let m = t.meters in
+  let meter f = match m with Some m -> Metrics.Counter.incr (f m) | None -> () in
   (match msg with
-  | Data _ -> t.data_sent <- t.data_sent + 1
+  | Data _ ->
+      t.data_sent <- t.data_sent + 1;
+      meter (fun m -> m.p_data)
   | Hello ->
       t.control_sent <- t.control_sent + 1;
-      t.hello_sent <- t.hello_sent + 1
+      t.hello_sent <- t.hello_sent + 1;
+      meter (fun m -> m.p_hello)
   | Query _ | Query_resp _ ->
       t.control_sent <- t.control_sent + 1;
-      t.query_sent <- t.query_sent + 1
+      t.query_sent <- t.query_sent + 1;
+      meter (fun m -> m.p_query)
   | Join_req _ ->
       t.control_sent <- t.control_sent + 1;
-      t.join_sent <- t.join_sent + 1
+      t.join_sent <- t.join_sent + 1;
+      meter (fun m -> m.p_join)
   | Refresh ->
       t.control_sent <- t.control_sent + 1;
-      t.refresh_sent <- t.refresh_sent + 1
+      t.refresh_sent <- t.refresh_sent + 1;
+      meter (fun m -> m.p_refresh)
   | Prune ->
       t.control_sent <- t.control_sent + 1;
-      t.prune_sent <- t.prune_sent + 1);
+      t.prune_sent <- t.prune_sent + 1;
+      meter (fun m -> m.p_prune));
   ignore (Net.send (net t) ~src ~dst msg)
 
 let hold_time t = t.config.hold_factor *. t.config.refresh_period
@@ -195,7 +232,14 @@ and handle t ~at ~from msg =
   | Join_req { requester; remaining } -> begin
       Hashtbl.replace st.children from (now +. hold_time t);
       match remaining with
-      | [] -> () (* we are the merge node *)
+      | [] ->
+          (* We are the merge node: the requester's forwarding state is now
+             installed along the whole attach path. *)
+          Timeline.note_installed t.timeline ~member:requester ~ts:now;
+          if Trace.enabled t.trace then
+            Trace.instant t.trace ~ts:now ~cat:"proto" ~tid:requester
+              ~args:[ ("merge", Trace.Int at) ]
+              "join.installed"
       | next :: rest ->
           (* Forward when we have no upstream — or when our upstream is
              stale (no data for a starvation window): a disconnected relay
@@ -215,7 +259,22 @@ and handle t ~at ~from msg =
         match (st.disrupted_at, st.restored_at) with
         | Some _, None ->
             st.restored_at <- Some now;
-            st.recovering <- false
+            st.recovering <- false;
+            Timeline.note_first_data t.timeline ~member:at ~ts:now;
+            (match (t.meters, Timeline.episode t.timeline at) with
+            | Some m, Some ep ->
+                List.iter
+                  (fun (phase, dur) ->
+                    match (dur, List.assoc_opt phase m.h_phase) with
+                    | Some d, Some h -> Metrics.Histogram.observe h d
+                    | _ -> ())
+                  (Timeline.phase_durations ep);
+                Option.iter (Metrics.Histogram.observe m.h_total) (Timeline.total ep)
+            | _ -> ());
+            if Trace.enabled t.trace then begin
+              Trace.instant t.trace ~ts:now ~cat:"recovery" ~tid:at "first_data";
+              Trace.end_span t.trace ~ts:now ~tid:at "recovery"
+            end
         | _ -> ()
       end;
       (* Forward fresh packets only: duplicates (transient double
@@ -232,7 +291,30 @@ and handle t ~at ~from msg =
         if !expired <> [] then maybe_prune t at
       end
 
-let create ?(config = default_config) engine graph ~source =
+let create ?(config = default_config) ?obs engine graph ~source =
+  let obs = match obs with Some _ as o -> o | None -> Engine.obs engine in
+  let meters =
+    Option.map
+      (fun o ->
+        let m = Smrp_obs.Obs.metrics o in
+        let phase_histogram p =
+          (* 1 ms .. 100 s in decades comfortably spans the default periods
+             (data 0.1 s, hello 1 s, OSPF reconvergence 5 s). *)
+          (p, Metrics.histogram m ~base:10.0 ~lowest:1e-3 ~count:6
+                ("recovery.phase." ^ String.map (function ' ' -> '_' | c -> c) (Timeline.phase_name p)))
+        in
+        {
+          p_hello = Metrics.counter m "proto.sent.hello";
+          p_query = Metrics.counter m "proto.sent.query";
+          p_join = Metrics.counter m "proto.sent.join_req";
+          p_refresh = Metrics.counter m "proto.sent.refresh";
+          p_prune = Metrics.counter m "proto.sent.prune";
+          p_data = Metrics.counter m "proto.sent.data";
+          h_phase = List.map phase_histogram Timeline.phases;
+          h_total = Metrics.histogram m ~base:10.0 ~lowest:1e-3 ~count:6 "recovery.total";
+        })
+      obs
+  in
   let t =
     {
       engine;
@@ -252,22 +334,37 @@ let create ?(config = default_config) engine graph ~source =
       refresh_sent = 0;
       prune_sent = 0;
       next_seq = 0;
+      timeline = Timeline.create ();
+      trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
+      meters;
     }
   in
-  let net = Net.create engine graph ~handler:(fun _ ~at ~from msg -> handle t ~at ~from msg) in
+  let net =
+    Net.create ?obs ~msg_label engine graph ~handler:(fun _ ~at ~from msg -> handle t ~at ~from msg)
+  in
   t.net <- Some net;
   t
 
 (* Issue a Join_req along an attach path given merge-node-first (as the core
    library produces them). *)
 let signal_join t ~requester ~attach_nodes =
+  let now = Engine.now t.engine in
   match List.rev attach_nodes with
-  | [] | [ _ ] -> () (* already attached: nothing to signal *)
+  | [] | [ _ ] ->
+      (* Already attached: nothing to signal, the "installation" is
+         instantaneous for the recovery timeline. *)
+      Timeline.note_signalled t.timeline ~member:requester ~ts:now;
+      Timeline.note_installed t.timeline ~member:requester ~ts:now
   | me :: next :: rest ->
       assert (me = requester);
       let st = t.nodes.(requester) in
       if st.parent = None && requester <> t.source then st.parent <- Some next;
       st.attach <- next :: rest;
+      Timeline.note_signalled t.timeline ~member:requester ~ts:now;
+      if Trace.enabled t.trace then
+        Trace.instant t.trace ~ts:now ~cat:"proto" ~tid:requester
+          ~args:[ ("hops", Trace.Int (List.length rest + 1)) ]
+          "join.signal";
       send t ~src:requester ~dst:next (Join_req { requester; remaining = rest })
 
 (* Full-knowledge path selection (§3.2.2): min-SHR for SMRP, unicast
@@ -328,6 +425,10 @@ let finalize_query_join t m =
   if st.member && st.attach = [] && not (Tree.is_on_tree t.tree m) then begin
     let responses = st.query_responses in
     st.query_responses <- [];
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"proto" ~tid:m
+        ~args:[ ("responses", Trace.Int (List.length responses)) ]
+        "query.finalize";
     let graftable c =
       (* The merge node must still be on-tree and the interior still off-tree
          (another join may have raced us during the query round trip). *)
@@ -388,6 +489,8 @@ let reshape_node t r =
   then begin
     let old_parent = st.parent in
     if Reshape.try_reshape ~d_thresh:t.config.d_thresh t.tree r then begin
+      if Trace.enabled t.trace then
+        Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"proto" ~tid:r "reshape.switch";
       match Tree.path_to_source t.tree r with
       | _ :: (next :: _ as rest) ->
           st.parent <- Some next;
@@ -444,7 +547,20 @@ let declare_disrupted t m =
     let now = Engine.now t.engine in
     st.recovering <- true;
     st.last_attempt <- now;
-    if st.disrupted_at = None then st.disrupted_at <- Some now;
+    let first = st.disrupted_at = None in
+    if first then st.disrupted_at <- Some now;
+    Timeline.note_detected t.timeline ~member:m ~ts:now;
+    if Trace.enabled t.trace then
+      if first then begin
+        Trace.begin_span t.trace ~ts:now ~cat:"recovery" ~tid:m
+          ~args:
+            [
+              ("strategy", Trace.Str (match t.config.strategy with Local -> "local" | Global -> "global"));
+            ]
+          "recovery";
+        Trace.instant t.trace ~ts:now ~cat:"recovery" ~tid:m "detected"
+      end
+      else Trace.instant t.trace ~ts:now ~cat:"recovery" ~tid:m "recovery.retry";
     match t.config.strategy with
     | Local -> recover_member t m
     | Global ->
@@ -542,6 +658,11 @@ let inject_link_failure t eid =
   Net.fail_link (net t) eid;
   t.failure <- Some (Failure.Link eid);
   t.failure_time <- Engine.now t.engine;
+  Timeline.note_failure t.timeline ~ts:t.failure_time;
+  if Trace.enabled t.trace then
+    Trace.instant t.trace ~ts:t.failure_time ~cat:"recovery"
+      ~args:[ ("link", Trace.Int eid) ]
+      "failure";
   (* Control-plane view: keep only the structure that still receives data;
      disconnected members re-enter through their recoveries. *)
   t.tree <- Recovery.surviving_tree t.tree (Failure.Link eid)
@@ -575,3 +696,7 @@ let message_breakdown t =
     ("prune", t.prune_sent);
     ("data", t.data_sent);
   ]
+
+let timeline t = Timeline.episodes t.timeline
+
+let phase_table t = Timeline.render (Timeline.episodes t.timeline)

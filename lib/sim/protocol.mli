@@ -72,7 +72,15 @@ type member_report = {
 
 type t
 
-val create : ?config:config -> Engine.t -> Smrp_graph.Graph.t -> source:int -> t
+val create :
+  ?config:config -> ?obs:Smrp_obs.Obs.t -> Engine.t -> Smrp_graph.Graph.t -> source:int -> t
+(** [obs] defaults to the engine's context ({!Engine.obs}) and is passed on
+    to the {!Net} the protocol creates.  When present, the protocol keeps
+    per-type [proto.sent.*] counters and [recovery.phase.*] histograms in
+    the metrics registry, and — when the trace sink is live — emits
+    recovery spans (one per disrupted member, on the member's track) plus
+    instants for the failure, detection, detour signalling, merge-node
+    installation, first data, query finalisation and reshape switches. *)
 
 val net : t -> msg Net.t
 
@@ -104,3 +112,11 @@ val data_messages : t -> int
 val message_breakdown : t -> (string * int) list
 (** Frames sent so far by type: hello, join_req, refresh, prune, data —
     the §3.3.2 overhead accounting. *)
+
+val timeline : t -> Smrp_obs.Timeline.episode list
+(** Recovery-episode milestones per disrupted member, always recorded
+    (failure → detection → detour signal → installation → first data);
+    the per-phase decomposition behind {!reports}'s two scalars. *)
+
+val phase_table : t -> string
+(** {!timeline} rendered as a fixed-width per-member phase table. *)

@@ -1,0 +1,285 @@
+(* Observability layer: metrics registry, tracer/sinks, recovery timelines,
+   and their integration with the simulator. *)
+
+module Metrics = Smrp_obs.Metrics
+module Trace = Smrp_obs.Trace
+module Timeline = Smrp_obs.Timeline
+module Obs = Smrp_obs.Obs
+module Engine = Smrp_sim.Engine
+module Net = Smrp_sim.Net
+module Protocol = Smrp_sim.Protocol
+module Graph = Smrp_graph.Graph
+module Fixtures = Smrp_topology.Fixtures
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let edge g u v = (Option.get (Graph.edge_between g u v)).Graph.id
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = affix || at (i + 1)) in
+  at 0
+
+(* -- Metrics ------------------------------------------------------------ *)
+
+let counter_and_gauge () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 4;
+  check_int "counter" 5 (Metrics.Counter.value c);
+  check_int "same instrument by name" 5 (Metrics.Counter.value (Metrics.counter m "c"));
+  Alcotest.check_raises "negative add" (Invalid_argument "Metrics.Counter.add: negative increment")
+    (fun () -> Metrics.Counter.add c (-1));
+  let g = Metrics.gauge m "g" in
+  Metrics.Gauge.set g 7.0;
+  Metrics.Gauge.set g 3.0;
+  Alcotest.(check (float 0.0)) "last" 3.0 (Metrics.Gauge.value g);
+  Alcotest.(check (float 0.0)) "max" 7.0 (Metrics.Gauge.max_value g);
+  Alcotest.check_raises "kind clash" (Invalid_argument "Metrics: \"c\" already registered as a counter")
+    (fun () -> ignore (Metrics.gauge m "c"))
+
+let bucket_of h v =
+  Metrics.Histogram.observe h v;
+  let rec first_nonzero i = function
+    | (_, 0) :: rest -> first_nonzero (i + 1) rest
+    | (bound, _) :: _ -> (i, bound)
+    | [] -> Alcotest.fail "no bucket incremented"
+  in
+  first_nonzero 0 (Metrics.Histogram.buckets h)
+
+let histogram_bucketing () =
+  let m = Metrics.create () in
+  (* Bounds: 1e-3, 1e-2, 1e-1, 1, 10 (+ overflow). *)
+  let fresh name = Metrics.histogram m ~base:10.0 ~lowest:1e-3 ~count:5 name in
+  (* Zero and negatives land in the lowest bucket. *)
+  check_int "zero -> bucket 0" 0 (fst (bucket_of (fresh "h0") 0.0));
+  check_int "negative -> bucket 0" 0 (fst (bucket_of (fresh "h1") (-3.0)));
+  (* Exact bound values stay in their bucket (upper bounds are inclusive). *)
+  check_int "v = lowest -> bucket 0" 0 (fst (bucket_of (fresh "h2") 1e-3));
+  check_int "v = 1.0 -> bucket 3" 3 (fst (bucket_of (fresh "h3") 1.0));
+  (* Just above a bound rolls over. *)
+  check_int "just above lowest" 1 (fst (bucket_of (fresh "h4") 1.0000001e-3));
+  (* Beyond the last bound -> overflow bucket with an infinite bound. *)
+  let i, bound = bucket_of (fresh "h5") 1e9 in
+  check_int "overflow index" 5 i;
+  check "overflow bound" true (bound = infinity);
+  (* count/sum accumulate over all observations. *)
+  let h = fresh "h6" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 2.0; 2.5 ];
+  check_int "count" 3 (Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5.0 (Metrics.Histogram.sum h);
+  check_int "bucket list length" 6 (List.length (Metrics.Histogram.buckets h))
+
+let snapshot_sorted_and_rendered () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "zz");
+  ignore (Metrics.gauge m "aa");
+  ignore (Metrics.histogram m "mm");
+  (match List.map fst (Metrics.snapshot m) with
+  | [ "aa"; "mm"; "zz" ] -> ()
+  | names -> Alcotest.failf "unsorted snapshot: %s" (String.concat "," names));
+  check "render mentions every instrument" true
+    (let r = Metrics.render m in
+     List.for_all (fun n -> contains ~affix:n r) [ "aa"; "mm"; "zz" ])
+
+(* -- Trace -------------------------------------------------------------- *)
+
+let span_nesting_in_ring () =
+  let sink = Trace.ring ~capacity:100 in
+  let t = Trace.create sink in
+  check "enabled" true (Trace.enabled t);
+  check "null disabled" false (Trace.enabled Trace.null);
+  Trace.begin_span t ~ts:1.0 ~tid:3 "outer";
+  Trace.begin_span t ~ts:2.0 ~tid:3 "inner";
+  Trace.instant t ~ts:2.5 ~tid:3 "tick";
+  Trace.end_span t ~ts:3.0 ~tid:3 "inner";
+  Trace.end_span t ~ts:4.0 ~tid:3 "outer";
+  match Trace.ring_contents sink with
+  | [ a; b; c; d; e ] ->
+      check "outer opens" true (a.Trace.ph = Trace.Begin && a.Trace.name = "outer");
+      check "inner nested" true (b.Trace.ph = Trace.Begin && b.Trace.name = "inner");
+      check "instant inside" true (c.Trace.ph = Trace.Instant && c.Trace.ts = 2.5);
+      check "inner closes first" true (d.Trace.ph = Trace.End && d.Trace.name = "inner");
+      check "outer closes last" true (e.Trace.ph = Trace.End && e.Trace.name = "outer")
+  | evs -> Alcotest.failf "expected 5 events, got %d" (List.length evs)
+
+let ring_keeps_last_events () =
+  let sink = Trace.ring ~capacity:3 in
+  let t = Trace.create sink in
+  for i = 1 to 5 do
+    Trace.instant t ~ts:(float_of_int i) "e"
+  done;
+  match Trace.ring_contents sink with
+  | [ a; b; c ] ->
+      Alcotest.(check (list (float 0.0))) "last three" [ 3.0; 4.0; 5.0 ] [ a.Trace.ts; b.Trace.ts; c.Trace.ts ]
+  | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs)
+
+let json_shape () =
+  let e =
+    {
+      Trace.ts = 1.5;
+      name = "fra\"me";
+      cat = "net";
+      ph = Trace.Complete 0.25;
+      pid = 2;
+      tid = 7;
+      args = [ ("dst", Trace.Int 3) ];
+    }
+  in
+  let j = Trace.to_json e in
+  List.iter
+    (fun affix -> check ("json contains " ^ affix) true (contains ~affix j))
+    [
+      "\"ph\":\"X\"";
+      "\"ts\":1500000";
+      "\"dur\":250000";
+      "\"name\":\"fra\\\"me\"";
+      "\"cat\":\"net\"";
+      "\"pid\":2";
+      "\"tid\":7";
+      "\"args\":{\"dst\":3}";
+    ]
+
+(* One fully instrumented seeded simulation; used by the determinism and
+   smoke tests below. *)
+let instrumented_run sink =
+  let obs = Obs.create ?sink ()  in
+  let engine = Engine.create ~obs () in
+  let g = Fixtures.ring 5 in
+  let p = Protocol.create engine g ~source:0 in
+  Protocol.start p;
+  ignore (Engine.schedule engine ~delay:0.5 (fun () -> Protocol.join p 2));
+  ignore (Engine.schedule engine ~delay:1.5 (fun () -> Protocol.join p 3));
+  Engine.run ~until:20.0 engine;
+  Protocol.inject_link_failure p (edge g 0 1);
+  Engine.run ~until:60.0 engine;
+  (obs, p)
+
+let sinks_deterministic_across_runs () =
+  (* Two identical seeded runs must produce byte-identical JSONL and equal
+     ring contents — traces are keyed on the simulation clock, not wall
+     time. *)
+  let jsonl_run () =
+    let buf = Buffer.create 4096 in
+    let sink = Trace.jsonl (fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n') in
+    let obs, _ = instrumented_run (Some sink) in
+    (Buffer.contents buf, Metrics.render (Obs.metrics obs))
+  in
+  let j1, m1 = jsonl_run () in
+  let j2, m2 = jsonl_run () in
+  check "jsonl non-trivial" true (String.length j1 > 1000);
+  check "jsonl identical" true (String.equal j1 j2);
+  check "metrics render identical" true (String.equal m1 m2);
+  let ring_run () =
+    let sink = Trace.ring ~capacity:100_000 in
+    ignore (instrumented_run (Some sink));
+    Trace.ring_contents sink
+  in
+  check "ring contents identical" true (ring_run () = ring_run ())
+
+(* -- Timeline ----------------------------------------------------------- *)
+
+let timeline_recorder_guards () =
+  let r = Timeline.create () in
+  (* Milestones before the failure are ignored. *)
+  Timeline.note_detected r ~member:1 ~ts:0.5;
+  check "no episode before failure" true (Timeline.episodes r = []);
+  Timeline.note_failure r ~ts:1.0;
+  Timeline.note_detected r ~member:1 ~ts:1.5;
+  Timeline.note_detected r ~member:1 ~ts:9.9 (* first detection wins *);
+  Timeline.note_signalled r ~member:1 ~ts:1.6;
+  Timeline.note_installed r ~member:1 ~ts:1.8;
+  Timeline.note_installed r ~member:1 ~ts:1.9 (* refresh re-confirmation: ignored *);
+  Timeline.note_first_data r ~member:1 ~ts:2.0;
+  Timeline.note_signalled r ~member:1 ~ts:5.0 (* closed: ignored *);
+  match Timeline.episodes r with
+  | [ e ] ->
+      check_int "member" 1 e.Timeline.member;
+      check_int "attempts" 1 e.Timeline.attempts;
+      let d = Timeline.phase_durations e in
+      let get p = Option.get (List.assoc p d) in
+      Alcotest.(check (float 1e-9)) "detection" 0.5 (get Timeline.Detection);
+      Alcotest.(check (float 1e-9)) "signalling" 0.1 (get Timeline.Signalling);
+      Alcotest.(check (float 1e-9)) "installation" 0.2 (get Timeline.Installation);
+      Alcotest.(check (float 1e-9)) "first data" 0.2 (get Timeline.First_data);
+      Alcotest.(check (float 1e-9)) "total" 1.0 (Option.get (Timeline.total e));
+      check "render has a row" true (contains ~affix:"1" (Timeline.render [ e ]))
+  | eps -> Alcotest.failf "expected one episode, got %d" (List.length eps)
+
+let protocol_emits_well_formed_timeline () =
+  (* Smoke test: a recovery run produces a complete, ordered episode whose
+     milestones bracket the member's reported detection/restoration. *)
+  let sink = Trace.ring ~capacity:100_000 in
+  let obs, p = instrumented_run (Some sink) in
+  let eps = Protocol.timeline p in
+  check "episodes recorded" true (eps <> []);
+  List.iter
+    (fun (e : Timeline.episode) ->
+      List.iter
+        (fun (p, d) ->
+          match d with
+          | Some d -> check (Timeline.phase_name p ^ " non-negative") true (d >= 0.0)
+          | None -> Alcotest.failf "missing %s milestone" (Timeline.phase_name p))
+        (Timeline.phase_durations e);
+      let report = List.find (fun r -> r.Protocol.member = e.Timeline.member) (Protocol.reports p) in
+      (match (report.Protocol.restored, Timeline.total e) with
+      | Some restored, Some total -> Alcotest.(check (float 1e-9)) "total = reported restoration" restored total
+      | _ -> Alcotest.fail "member not restored"))
+    eps;
+  (* The phase table renders one row per episode. *)
+  let table = Protocol.phase_table p in
+  check "table has header" true (contains ~affix:"detect(s)" table);
+  (* The trace carries the recovery lifecycle for each disrupted member. *)
+  let events = Trace.ring_contents sink in
+  let count ?ph name =
+    List.length
+      (List.filter
+         (fun e -> e.Trace.name = name && match ph with Some p -> e.Trace.ph = p | None -> true)
+         events)
+  in
+  check_int "failure instant" 1 (count "failure");
+  check_int "one recovery span open per episode" (List.length eps) (count ~ph:Trace.Begin "recovery");
+  check_int "every recovery span closes" (List.length eps) (count ~ph:Trace.End "recovery");
+  check "detected instants" true (count "detected" >= List.length eps);
+  check "first_data instants" true (count "first_data" >= List.length eps);
+  (* Metrics: engine, net and recovery-phase instruments are live. *)
+  let m = Metrics.render (Obs.metrics obs) in
+  List.iter
+    (fun affix -> check ("metrics contain " ^ affix) true (contains ~affix m))
+    [ "engine.events_fired"; "net.frames_sent"; "recovery.phase.detection"; "recovery.total" ]
+
+let noop_sink_costs_nothing_extra () =
+  (* With no obs context at all, the same run still records timelines and
+     reports; the instrumentation has no visible side effects. *)
+  let _, p = instrumented_run None in
+  check "timeline recorded without obs" true (Protocol.timeline p <> []);
+  check "members restored" true
+    (List.for_all
+       (fun (r : Protocol.member_report) -> r.Protocol.restored <> None)
+       (List.filter (fun (r : Protocol.member_report) -> r.Protocol.detected <> None) (Protocol.reports p)))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick counter_and_gauge;
+          Alcotest.test_case "histogram bucketing" `Quick histogram_bucketing;
+          Alcotest.test_case "snapshot sorted" `Quick snapshot_sorted_and_rendered;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick span_nesting_in_ring;
+          Alcotest.test_case "ring keeps last" `Quick ring_keeps_last_events;
+          Alcotest.test_case "json shape" `Quick json_shape;
+          Alcotest.test_case "sinks deterministic" `Quick sinks_deterministic_across_runs;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "recorder guards" `Quick timeline_recorder_guards;
+          Alcotest.test_case "protocol timeline well-formed" `Quick protocol_emits_well_formed_timeline;
+          Alcotest.test_case "no-op path" `Quick noop_sink_costs_nothing_extra;
+        ] );
+    ]

@@ -140,6 +140,27 @@ let in_flight_frames_die_with_the_link () =
   Engine.run engine;
   check_int "dropped at delivery" 0 !arrivals
 
+let failure_drops_counted_separately () =
+  (* Failure drops (send-time and in-flight) are accounted apart from
+     Bernoulli loss. *)
+  let engine = Engine.create () in
+  let g = Fixtures.line 3 in
+  let delivered = ref 0 in
+  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ _ -> incr delivered) in
+  Net.fail_link n (edge g 0 1);
+  check "rejected" false (Net.send n ~src:0 ~dst:1 ());
+  check_int "send-time failure drop" 1 (List.assoc "dropped_failure_at_send" (Net.counters n));
+  check_int "not counted as sent" 0 (Net.frames_sent n);
+  Net.restore_link n (edge g 0 1);
+  check "accepted" true (Net.send n ~src:0 ~dst:1 ());
+  ignore (Engine.schedule engine ~delay:0.5 (fun () -> Net.fail_link n (edge g 0 1)));
+  Engine.run engine;
+  check_int "in-flight failure drop" 1 (List.assoc "dropped_failure_in_flight" (Net.counters n));
+  check_int "total failure drops" 2 (Net.frames_dropped_failure n);
+  check_int "bernoulli loss untouched" 0 (Net.frames_lost n);
+  check_int "nothing delivered" 0 !delivered;
+  check_int "delivered counter agrees" 0 (Net.frames_delivered n)
+
 let failed_node_blocks () =
   let engine = Engine.create () in
   let g = Fixtures.line 3 in
@@ -370,6 +391,7 @@ let () =
           Alcotest.test_case "frames arrive after delay" `Quick frames_arrive_after_link_delay;
           Alcotest.test_case "failed link drops" `Quick failed_link_drops;
           Alcotest.test_case "in-flight frames die" `Quick in_flight_frames_die_with_the_link;
+          Alcotest.test_case "failure drops counted separately" `Quick failure_drops_counted_separately;
           Alcotest.test_case "failed node blocks" `Quick failed_node_blocks;
           Alcotest.test_case "non-adjacent rejected" `Quick non_adjacent_send_rejected;
         ] );
