@@ -3,12 +3,19 @@
    operations with Bechamel.
 
    Scale: figures use the paper's scenario counts (100 per data point) by
-   default; set SMRP_BENCH_SCENARIOS to scale down for a quick pass. *)
+   default; set SMRP_BENCH_SCENARIOS to scale down for a quick pass, and
+   SMRP_BENCH_JOBS to pin the domain count of the scenario fan-out.
+
+   Each figure is rendered twice — sequentially (jobs=1) and on the default
+   domain pool — and the harness asserts the two renderings are
+   byte-identical before printing, then writes both wall-clock timings and
+   the micro-benchmark estimates to BENCH_RESULTS.json. *)
 
 module Figures = Smrp_experiments.Figures
 module Latency = Smrp_experiments.Latency
 module Ablation = Smrp_experiments.Ablation
 module Scenario = Smrp_experiments.Scenario
+module Pool = Smrp_experiments.Pool
 module Rng = Smrp_rng.Rng
 module Graph = Smrp_graph.Graph
 module Dijkstra = Smrp_graph.Dijkstra
@@ -33,15 +40,37 @@ let scenarios =
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
 
+(* -- Figures: sequential vs domain-parallel --------------------------- *)
+
+let figure_timings : (string * float * float) list ref = ref []
+
+(* Render [f ~jobs] once sequentially and once on the default pool, check
+   the outputs agree byte-for-byte, record both wall-clock times. *)
+let timed_figure name f =
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let out = f ~jobs in
+    (out, Unix.gettimeofday () -. t0)
+  in
+  let seq, seq_s = time (Some 1) in
+  let par, par_s = time None in
+  if not (String.equal seq par) then (
+    Printf.eprintf "FATAL: %s: parallel rendering differs from sequential\n%!" name;
+    exit 1);
+  figure_timings := (name, seq_s, par_s) :: !figure_timings;
+  print_string par;
+  Printf.printf "[%s: %.2fs sequential, %.2fs on %d domain(s)]\n" name seq_s par_s
+    (Pool.default_jobs ())
+
 let figures () =
   section "Figure 7 (local vs global detour, 4.3.1)";
-  print_string (Figures.Fig7.render (Figures.Fig7.run ()));
+  timed_figure "fig7" (fun ~jobs -> Figures.Fig7.render (Figures.Fig7.run ?jobs ()));
   section "Figure 8 (effect of D_thresh, 4.3.2)";
-  print_string (Figures.Fig8.render (Figures.Fig8.run ~scenarios ()));
+  timed_figure "fig8" (fun ~jobs -> Figures.Fig8.render (Figures.Fig8.run ?jobs ~scenarios ()));
   section "Figure 9 (effect of alpha / node degree, 4.3.3)";
-  print_string (Figures.Fig9.render (Figures.Fig9.run ~scenarios ()));
+  timed_figure "fig9" (fun ~jobs -> Figures.Fig9.render (Figures.Fig9.run ?jobs ~scenarios ()));
   section "Figure 10 (effect of group size, 4.3.4)";
-  print_string (Figures.Fig10.render (Figures.Fig10.run ~scenarios ()))
+  timed_figure "fig10" (fun ~jobs -> Figures.Fig10.render (Figures.Fig10.run ?jobs ~scenarios ()))
 
 let traced_latency () =
   (* The same restoration-latency scenario with the observability layer
@@ -104,6 +133,10 @@ let micro () =
   let members = s.Scenario.members in
   let victim = List.hd members in
   let worst = Option.get (Failure.worst_case_for_member s.Scenario.smrp_tree victim) in
+  (* Steady-state operation benches reuse one workspace, as the protocol
+     stack does; the build benches exercise the default private-workspace
+     path end to end. *)
+  let ws = Dijkstra.workspace ~capacity:(Graph.node_count graph) () in
   let tests =
     [
       Test.make ~name:"waxman_generate_n100"
@@ -111,24 +144,24 @@ let micro () =
              let rng = Rng.create 99 in
              ignore (Waxman.generate rng ~n:100 ~alpha:0.2 ~beta:0.2)));
       Test.make ~name:"dijkstra_n100"
-        (Staged.stage (fun () -> ignore (Dijkstra.run graph ~source)));
+        (Staged.stage (fun () -> ignore (Dijkstra.run ~workspace:ws graph ~source)));
       Test.make ~name:"spf_build_30_members"
-        (Staged.stage (fun () -> ignore (Spf.build graph ~source ~members)));
+        (Staged.stage (fun () -> ignore (Spf.build ~ws graph ~source ~members)));
       Test.make ~name:"smrp_build_30_members"
-        (Staged.stage (fun () -> ignore (Smrp.build ~d_thresh:0.3 graph ~source ~members)));
+        (Staged.stage (fun () -> ignore (Smrp.build ~d_thresh:0.3 ~ws graph ~source ~members)));
       Test.make ~name:"smrp_candidates"
         (Staged.stage (fun () ->
-             ignore (Smrp.candidates s.Scenario.smrp_tree ~joiner:victim)));
+             ignore (Smrp.candidates ~ws s.Scenario.smrp_tree ~joiner:victim)));
       Test.make ~name:"local_detour"
         (Staged.stage (fun () ->
-             ignore (Recovery.local_detour s.Scenario.smrp_tree worst ~member:victim)));
+             ignore (Recovery.local_detour ~ws s.Scenario.smrp_tree worst ~member:victim)));
       Test.make ~name:"global_detour"
         (Staged.stage (fun () ->
-             ignore (Recovery.global_detour s.Scenario.smrp_tree worst ~member:victim)));
+             ignore (Recovery.global_detour ~ws s.Scenario.smrp_tree worst ~member:victim)));
       Test.make ~name:"reshape_stabilize"
         (Staged.stage (fun () ->
-             let t = Smrp.build ~d_thresh:0.3 graph ~source ~members in
-             ignore (Reshape.stabilize ~d_thresh:0.3 t)));
+             let t = Smrp.build ~d_thresh:0.3 ~ws graph ~source ~members in
+             ignore (Reshape.stabilize ~d_thresh:0.3 ~ws t)));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -148,19 +181,69 @@ let micro () =
          | Some (ns :: _) -> rows := (name, ns) :: !rows
          | _ -> ()))
     results;
+  let rows =
+    List.sort compare
+      (List.map
+         (fun (name, ns) ->
+           match String.index_opt name '/' with
+           | Some i -> (String.sub name (i + 1) (String.length name - i - 1), ns)
+           | None -> (name, ns))
+         !rows)
+  in
   List.iter
-    (fun (name, ns) ->
-      let name =
-        match String.index_opt name '/' with
-        | Some i -> String.sub name (i + 1) (String.length name - i - 1)
-        | None -> name
-      in
-      Printf.printf "%-28s %12.1f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
-    (List.sort compare !rows)
+    (fun (name, ns) -> Printf.printf "%-28s %12.1f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
+    rows;
+  rows
+
+(* -- BENCH_RESULTS.json ------------------------------------------------ *)
+
+(* Minimal JSON writer: everything we emit is an object of numbers or of
+   nested objects, plus one string field. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_results ~micro_rows =
+  let path = "BENCH_RESULTS.json" in
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"harness\": \"%s\",\n" (json_escape "smrp-bench");
+  out "  \"scenarios_per_point\": %d,\n" scenarios;
+  out "  \"default_jobs\": %d,\n" (Pool.default_jobs ());
+  out "  \"micro_ns_per_run\": {\n";
+  let n = List.length micro_rows in
+  List.iteri
+    (fun i (name, ns) ->
+      out "    \"%s\": %.1f%s\n" (json_escape name) ns (if i = n - 1 then "" else ","))
+    micro_rows;
+  out "  },\n";
+  out "  \"figures_wall_clock_s\": {\n";
+  let timings = List.rev !figure_timings in
+  let n = List.length timings in
+  List.iteri
+    (fun i (name, seq_s, par_s) ->
+      out "    \"%s\": { \"sequential\": %.3f, \"parallel\": %.3f }%s\n" (json_escape name)
+        seq_s par_s
+        (if i = n - 1 then "" else ","))
+    timings;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
 
 let () =
-  Printf.printf "SMRP reproduction benchmark harness (scenarios per point: %d)\n" scenarios;
+  Printf.printf "SMRP reproduction benchmark harness (scenarios per point: %d; default jobs: %d)\n"
+    scenarios (Pool.default_jobs ());
   figures ();
   extensions ();
-  micro ();
+  let micro_rows = micro () in
+  write_results ~micro_rows;
   print_newline ()

@@ -1,7 +1,7 @@
 module Graph = Smrp_graph.Graph
 module Dijkstra = Smrp_graph.Dijkstra
 
-let candidates t ~joiner =
+let candidates ?ws t ~joiner =
   let g = Tree.graph t in
   let collect acc (nb, joining_edge) =
     if Tree.is_on_tree t nb then
@@ -18,7 +18,7 @@ let candidates t ~joiner =
       }
       :: acc
     else begin
-      match Dijkstra.shortest_path g ~src:nb ~dst:(Tree.source t) with
+      match Dijkstra.shortest_path ?workspace:ws g ~src:nb ~dst:(Tree.source t) with
       | None -> acc
       | Some (_, nodes, edges) ->
           (* Forward along nb's unicast path until the first on-tree node. *)
@@ -58,22 +58,27 @@ let candidates t ~joiner =
   Hashtbl.fold (fun _ c acc -> c :: acc) best []
   |> List.sort (fun a b -> compare a.Smrp.merge b.Smrp.merge)
 
-let join ?d_thresh t nr =
+let join ?d_thresh ?ws t nr =
   if Tree.is_member t nr then invalid_arg "Query.join: already a member";
   if Tree.is_on_tree t nr then Tree.add_member t nr
   else begin
-    match Smrp.spf_distance t nr with
+    match Smrp.spf_distance ?ws t nr with
     | None -> invalid_arg "Query.join: source unreachable"
     | Some spf_dist -> begin
-        match Smrp.select ?d_thresh ~spf_distance:spf_dist (candidates t ~joiner:nr) with
+        match Smrp.select ?d_thresh ~spf_distance:spf_dist (candidates ?ws t ~joiner:nr) with
         | Some c ->
             Tree.graft t ~nodes:c.Smrp.attach_nodes ~edges:c.Smrp.attach_edges;
             Tree.add_member t nr
-        | None -> Spf.join t nr
+        | None -> Spf.join ?ws t nr
       end
   end
 
-let build ?d_thresh g ~source ~members =
+let build ?d_thresh ?ws g ~source ~members =
+  let ws =
+    match ws with
+    | Some ws -> ws
+    | None -> Dijkstra.workspace ~capacity:(Graph.node_count g) ()
+  in
   let t = Tree.create g ~source in
-  List.iter (join ?d_thresh t) members;
+  List.iter (join ?d_thresh ~ws t) members;
   t

@@ -8,13 +8,19 @@
     sub-optimal — the degradation quantified by the [query] ablation
     benchmark. *)
 
-val candidates : Tree.t -> joiner:int -> Smrp.candidate list
+val candidates :
+  ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> joiner:int -> Smrp.candidate list
 (** One candidate per answering on-tree node (deduplicated, keeping the
     lowest-delay connection), ordered by merge-node id. *)
 
-val join : ?d_thresh:float -> Tree.t -> int -> unit
+val join : ?d_thresh:float -> ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> int -> unit
 (** SMRP join restricted to query-discovered candidates.  Falls back to the
     SPF join when no query is answered. *)
 
 val build :
-  ?d_thresh:float -> Smrp_graph.Graph.t -> source:int -> members:int list -> Tree.t
+  ?d_thresh:float ->
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  Smrp_graph.Graph.t ->
+  source:int ->
+  members:int list ->
+  Tree.t

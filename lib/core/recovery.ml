@@ -21,7 +21,7 @@ let trivial t member =
     new_total_delay = Tree.delay_to_source t member;
   }
 
-let local_detour t f ~member =
+let local_detour ?ws t f ~member =
   if not (Failure.node_ok f member) then None
   else begin
     let g = Tree.graph t in
@@ -33,7 +33,7 @@ let local_detour t f ~member =
           ~node_ok:(Failure.node_ok f)
           ~edge_ok:(Failure.edge_ok g f)
           ~absorb:(fun v -> surviving.(v))
-          g ~source:member
+          ?workspace:ws g ~source:member
       in
       (* Descending scan with non-strict replacement: ties on distance end
          at the smallest node id, keeping recovery deterministic. *)
@@ -94,7 +94,7 @@ let surviving_tree old f =
     (Tree.members old);
   fresh
 
-let global_detour t f ~member =
+let global_detour ?ws t f ~member =
   if not (Failure.node_ok f member) then None
   else begin
     let g = Tree.graph t in
@@ -105,7 +105,7 @@ let global_detour t f ~member =
         Dijkstra.shortest_path
           ~node_ok:(Failure.node_ok f)
           ~edge_ok:(Failure.edge_ok g f)
-          g ~src:member ~dst:(Tree.source t)
+          ?workspace:ws g ~src:member ~dst:(Tree.source t)
       with
       | None -> None
       | Some (_, nodes, edges) ->

@@ -20,14 +20,16 @@ type detour = {
   new_total_delay : float;  (** End-to-end delay after restoration. *)
 }
 
-val local_detour : Tree.t -> Failure.t -> member:int -> detour option
+val local_detour :
+  ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> Failure.t -> member:int -> detour option
 (** Shortest connection from the receiver to any surviving on-tree node over
     the surviving network.  [None] if the receiver is isolated.  A receiver
     that still gets data receives the trivial detour ([merge = member],
     [recovery_distance = 0]).  [member] need not currently be subscribed —
     staged repair ({!Session.fail}) re-attaches receivers one at a time. *)
 
-val global_detour : Tree.t -> Failure.t -> member:int -> detour option
+val global_detour :
+  ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> Failure.t -> member:int -> detour option
 (** SPF re-join over the surviving network. *)
 
 val surviving_tree : Tree.t -> Failure.t -> Tree.t

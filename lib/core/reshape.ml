@@ -12,17 +12,17 @@ let candidate_of_previous t (nodes, edges) =
       }
   | [] -> invalid_arg "Reshape: empty previous attachment"
 
-let try_reshape ?d_thresh ?failure t r =
+let try_reshape ?d_thresh ?failure ?ws t r =
   if not (Tree.is_on_tree t r) then invalid_arg "Reshape.try_reshape: off-tree node";
   if r = Tree.source t then invalid_arg "Reshape.try_reshape: cannot reshape the source";
   let d_thresh = Option.value d_thresh ~default:Smrp.default_d_thresh in
-  match Smrp.spf_distance ?failure t r with
+  match Smrp.spf_distance ?failure ?ws t r with
   | None -> false
   | Some spf_dist ->
       let branch, previous = Tree.detach_branch t ~node:r in
       let current = candidate_of_previous t previous in
       let exclude v = Tree.branch_contains branch v && v <> r in
-      let cands = Smrp.candidates ~exclude ?failure t ~joiner:r in
+      let cands = Smrp.candidates ~exclude ?failure ?ws t ~joiner:r in
       let bound = ((1.0 +. d_thresh) *. spf_dist) +. 1e-9 in
       let chosen =
         (* Only a candidate that respects the delay bound may replace the
@@ -42,8 +42,14 @@ let try_reshape ?d_thresh ?failure t r =
 
 type stats = { switches : int; rounds : int }
 
-let stabilize ?d_thresh ?failure ?(max_rounds = 10) t =
+let stabilize ?d_thresh ?failure ?ws ?(max_rounds = 10) t =
   if max_rounds < 1 then invalid_arg "Reshape.stabilize: max_rounds must be positive";
+  let ws =
+    match ws with
+    | Some ws -> ws
+    | None ->
+        Smrp_graph.Dijkstra.workspace ~capacity:(Smrp_graph.Graph.node_count (Tree.graph t)) ()
+  in
   let rec run rounds switches =
     if rounds = max_rounds then { switches; rounds }
     else begin
@@ -59,7 +65,7 @@ let stabilize ?d_thresh ?failure ?(max_rounds = 10) t =
       let round_switches =
         List.fold_left
           (fun acc v ->
-            if Tree.is_on_tree t v && v <> Tree.source t && try_reshape ?d_thresh ?failure t v
+            if Tree.is_on_tree t v && v <> Tree.source t && try_reshape ?d_thresh ?failure ~ws t v
             then acc + 1
             else acc)
           0 nodes
@@ -88,12 +94,12 @@ let drifted m t ~threshold =
 
 let note_reshaped m t v = Hashtbl.replace m v (if Tree.is_on_tree t v then Tree.shr t v else 0)
 
-let run_condition_i ?d_thresh ?(threshold = 1) m t =
+let run_condition_i ?d_thresh ?(threshold = 1) ?ws m t =
   let triggered = drifted m t ~threshold in
   List.fold_left
     (fun acc v ->
       if Tree.is_on_tree t v && v <> Tree.source t then begin
-        let switched = try_reshape ?d_thresh t v in
+        let switched = try_reshape ?d_thresh ?ws t v in
         note_reshaped m t v;
         if switched then acc + 1 else acc
       end

@@ -10,13 +10,25 @@
       path) — see {!monitor};
     - {b Condition II}: a periodic sweep, modelled by {!stabilize}. *)
 
-val try_reshape : ?d_thresh:float -> ?failure:Failure.t -> Tree.t -> int -> bool
+val try_reshape :
+  ?d_thresh:float ->
+  ?failure:Failure.t ->
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  Tree.t ->
+  int ->
+  bool
 (** [try_reshape t r] re-evaluates node [r]'s upstream path; returns whether
     the node switched.  [r] must be on-tree and not the source. *)
 
 type stats = { switches : int; rounds : int }
 
-val stabilize : ?d_thresh:float -> ?failure:Failure.t -> ?max_rounds:int -> Tree.t -> stats
+val stabilize :
+  ?d_thresh:float ->
+  ?failure:Failure.t ->
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  ?max_rounds:int ->
+  Tree.t ->
+  stats
 (** Sweep all non-source on-tree nodes repeatedly (deepest first, so moved
     subtrees settle before their ancestors are reconsidered) until a round
     performs no switch, or [max_rounds] (default 10) is reached. *)
@@ -34,6 +46,7 @@ val drifted : monitor -> Tree.t -> threshold:int -> int list
 val note_reshaped : monitor -> Tree.t -> int -> unit
 (** Record the node's current SHR as its new [SHR^old]. *)
 
-val run_condition_i : ?d_thresh:float -> ?threshold:int -> monitor -> Tree.t -> int
+val run_condition_i :
+  ?d_thresh:float -> ?threshold:int -> ?ws:Smrp_graph.Dijkstra.workspace -> monitor -> Tree.t -> int
 (** Trigger {!try_reshape} at every drifted node (refreshing their
     snapshots); returns the number of switches. *)

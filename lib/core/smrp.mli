@@ -27,13 +27,20 @@ val default_d_thresh : float
 (** 0.3, the paper's reference setting. *)
 
 val candidates :
-  ?exclude:(int -> bool) -> ?failure:Failure.t -> Tree.t -> joiner:int -> candidate list
+  ?exclude:(int -> bool) ->
+  ?failure:Failure.t ->
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  Tree.t ->
+  joiner:int ->
+  candidate list
 (** All merge options for [joiner], ordered by merge-node id.  [exclude]
     removes nodes from both traversal and merging (used by reshaping to
     keep the detached branch out of the search); [failure] removes failed
-    components (joins arriving while failures are active). *)
+    components (joins arriving while failures are active).  [ws] makes the
+    underlying absorbing Dijkstra allocation-free. *)
 
-val spf_distance : ?failure:Failure.t -> Tree.t -> int -> float option
+val spf_distance :
+  ?failure:Failure.t -> ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> int -> float option
 (** Unicast shortest-path delay from a node to the source, over the
     surviving network when [failure] is given. *)
 
@@ -41,7 +48,8 @@ val select : ?d_thresh:float -> spf_distance:float -> candidate list -> candidat
 (** Apply the Path Selection Criterion; [None] when the list is empty.
     Falls back to the lowest-delay candidate when none meets the bound. *)
 
-val join : ?d_thresh:float -> ?failure:Failure.t -> Tree.t -> int -> unit
+val join :
+  ?d_thresh:float -> ?failure:Failure.t -> ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> int -> unit
 (** SMRP join (§3.2.2).  A joiner that is already on-tree (a relay)
     subscribes in place and keeps its existing path — a zero-cost join that
     may exceed the delay bound; a later reshaping pass can move it.  Raises
@@ -52,5 +60,11 @@ val leave : Tree.t -> int -> unit
 (** Explicit [Leave_Req]: alias of {!Tree.remove_member}. *)
 
 val build :
-  ?d_thresh:float -> Smrp_graph.Graph.t -> source:int -> members:int list -> Tree.t
-(** Fresh tree with the given members joined in list order. *)
+  ?d_thresh:float ->
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  Smrp_graph.Graph.t ->
+  source:int ->
+  members:int list ->
+  Tree.t
+(** Fresh tree with the given members joined in list order.  One workspace
+    (supplied or private) is reused across every join. *)

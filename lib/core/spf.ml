@@ -1,12 +1,21 @@
 module Dijkstra = Smrp_graph.Dijkstra
 
-let attach_path ?failure t nr =
+let attach_path ?failure ?ws t nr =
   if Tree.is_on_tree t nr then ([ nr ], [])
   else begin
     let g = Tree.graph t in
-    let node_ok v = match failure with None -> true | Some f -> Failure.node_ok f v in
-    let edge_ok e = match failure with None -> true | Some f -> Failure.edge_ok g f e in
-    match Dijkstra.shortest_path ~node_ok ~edge_ok g ~src:nr ~dst:(Tree.source t) with
+    (* No filters when there is no failure: the search then takes
+       Dijkstra's unfiltered fast path. *)
+    let path =
+      match failure with
+      | None -> Dijkstra.shortest_path ?workspace:ws g ~src:nr ~dst:(Tree.source t)
+      | Some f ->
+          Dijkstra.shortest_path
+            ~node_ok:(fun v -> Failure.node_ok f v)
+            ~edge_ok:(fun e -> Failure.edge_ok g f e)
+            ?workspace:ws g ~src:nr ~dst:(Tree.source t)
+    in
+    match path with
     | None -> invalid_arg "Spf.attach_path: source unreachable"
     | Some (_, nodes, edges) ->
         (* The join travels nr → source and grafts at the first on-tree node
@@ -21,16 +30,21 @@ let attach_path ?failure t nr =
         walk nodes edges [] []
   end
 
-let join ?failure t nr =
+let join ?failure ?ws t nr =
   if Tree.is_member t nr then invalid_arg "Spf.join: already a member";
-  (match attach_path ?failure t nr with
+  (match attach_path ?failure ?ws t nr with
   | [ _ ], [] -> ()
   | nodes, edges -> Tree.graft t ~nodes ~edges);
   Tree.add_member t nr
 
 let leave t m = Tree.remove_member t m
 
-let build g ~source ~members =
+let build ?ws g ~source ~members =
+  let ws =
+    match ws with
+    | Some ws -> ws
+    | None -> Dijkstra.workspace ~capacity:(Smrp_graph.Graph.node_count g) ()
+  in
   let t = Tree.create g ~source in
-  List.iter (join t) members;
+  List.iter (join ~ws t) members;
   t

@@ -4,9 +4,9 @@ module Dijkstra = Smrp_graph.Dijkstra
 (* The cheapest connection from [joiner] to the current tree: an absorbing
    Dijkstra over link costs.  Delay and cost coincide on the graphs used
    here, so the delay-weighted search doubles as the cost-weighted one. *)
-let cheapest_connection t ~joiner =
+let cheapest_connection ?ws t ~joiner =
   let absorb v = Tree.is_on_tree t v in
-  let result = Dijkstra.run ~absorb (Tree.graph t) ~source:joiner in
+  let result = Dijkstra.run ~absorb ?workspace:ws (Tree.graph t) ~source:joiner in
   let best = ref None in
   for v = Graph.node_count (Tree.graph t) - 1 downto 0 do
     if absorb v && v <> joiner && Dijkstra.reachable result v then begin
@@ -34,6 +34,7 @@ let join t nr =
 let leave t m = Tree.remove_member t m
 
 let build g ~source ~members =
+  let ws = Dijkstra.workspace ~capacity:(Graph.node_count g) () in
   let t = Tree.create g ~source in
   (* Takahashi–Matsuyama order: always the member closest to the current
      tree next. *)
@@ -44,7 +45,7 @@ let build g ~source ~members =
         (fun m ->
           if Tree.is_on_tree t m then Some (0.0, m)
           else
-            Option.map (fun (d, _, _) -> (d, m)) (cheapest_connection t ~joiner:m))
+            Option.map (fun (d, _, _) -> (d, m)) (cheapest_connection ~ws t ~joiner:m))
         !remaining
     in
     match List.sort compare scored with

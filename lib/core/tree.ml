@@ -11,6 +11,8 @@ type t = {
   n_r : int array; (* N_R: members in the subtree rooted at each node *)
   delay : float array; (* delay to source, valid when on_tree *)
   mutable member_count : int;
+  shr_cache : int array; (* SHR per on-tree node, valid when shr_valid *)
+  mutable shr_valid : bool;
 }
 
 let create graph ~source =
@@ -28,6 +30,8 @@ let create graph ~source =
       n_r = Array.make n 0;
       delay = Array.make n infinity;
       member_count = 0;
+      shr_cache = Array.make n 0;
+      shr_valid = false;
     }
   in
   t.on_tree.(source) <- true;
@@ -88,10 +92,26 @@ let require_on_tree t v name =
   check_node t v name;
   if not t.on_tree.(v) then invalid_arg (Printf.sprintf "Tree.%s: node %d is off-tree" name v)
 
+(* SHR(S, v) = sum of N_R over the tree path v..S (source excluded) obeys the
+   top-down recurrence SHR(c) = SHR(parent c) + N_R(c), so one DFS from the
+   source refreshes every node.  The cache is invalidated wholesale by any
+   mutation (membership or structure) and rebuilt lazily on the next query:
+   query-heavy phases — [Smrp.candidates] reads SHR for every on-tree node —
+   cost O(1) per lookup instead of an O(depth) parent walk. *)
+let refresh_shr t =
+  if not t.shr_valid then begin
+    let rec visit v acc =
+      t.shr_cache.(v) <- acc;
+      List.iter (fun c -> visit c (acc + t.n_r.(c))) t.children.(v)
+    in
+    visit t.source 0;
+    t.shr_valid <- true
+  end
+
 let shr t v =
   require_on_tree t v "shr";
-  let rec walk v acc = if v = t.source then acc else walk t.parent.(v) (acc + t.n_r.(v)) in
-  walk v 0
+  refresh_shr t;
+  t.shr_cache.(v)
 
 let path_to_source t v =
   require_on_tree t v "path_to_source";
@@ -118,6 +138,7 @@ let iter_up t v f =
   walk v
 
 let graft t ~nodes ~edges =
+  t.shr_valid <- false;
   (match nodes with
   | [] | [ _ ] -> invalid_arg "Tree.graft: path needs at least two nodes"
   | merge :: _ -> require_on_tree t merge "graft");
@@ -146,6 +167,7 @@ let graft t ~nodes ~edges =
 let add_member t v =
   require_on_tree t v "add_member";
   if t.member.(v) then invalid_arg "Tree.add_member: already a member";
+  t.shr_valid <- false;
   t.member.(v) <- true;
   t.member_count <- t.member_count + 1;
   iter_up t v (fun r -> t.n_r.(r) <- t.n_r.(r) + 1)
@@ -170,6 +192,7 @@ let rec prune_up t v =
 let remove_member t v =
   check_node t v "remove_member";
   if not t.member.(v) then invalid_arg "Tree.remove_member: not a member";
+  t.shr_valid <- false;
   t.member.(v) <- false;
   t.member_count <- t.member_count - 1;
   iter_up t v (fun r -> t.n_r.(r) <- t.n_r.(r) - 1);
@@ -197,6 +220,7 @@ let branch_member_count br = br.nsub
 let detach_branch t ~node =
   require_on_tree t node "detach_branch";
   if node = t.source then invalid_arg "Tree.detach_branch: cannot detach the source";
+  t.shr_valid <- false;
   let in_branch = Array.make (Graph.node_count t.graph) false in
   List.iter (fun v -> in_branch.(v) <- true) (descendants t node);
   let nsub = t.n_r.(node) in
@@ -221,6 +245,7 @@ let detach_branch t ~node =
   (br, previous)
 
 let attach_branch t br ~nodes ~edges =
+  t.shr_valid <- false;
   let node = br.root in
   (match nodes with
   | [] | [ _ ] -> invalid_arg "Tree.attach_branch: path needs at least two nodes"

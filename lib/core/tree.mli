@@ -52,7 +52,9 @@ val delay_to_source : t -> int -> float
     Raises [Invalid_argument] for off-tree nodes. *)
 
 val shr : t -> int -> int
-(** [SHR(S,R)] per Eq. 2.  [shr t (source t) = 0]. *)
+(** [SHR(S,R)] per Eq. 2.  [shr t (source t) = 0].  O(1) amortised: values
+    are cached tree-wide and rebuilt in one pass after a mutation, so the
+    query-per-on-tree-node pattern of [Smrp.candidates] stays linear. *)
 
 val path_to_source : t -> int -> int list
 (** On-tree node sequence [R; ...; S]. *)

@@ -86,11 +86,10 @@ module Reshaping = struct
     let rd_after, delay_after = tree_vs_spf ~spf_tree ~tree:smrp ~members in
     (float_of_int stats.Reshape.switches, rd_before, rd_after, delay_before, delay_after)
 
-  let run ?(seed = 11) ?(scenarios = 50) () =
+  let run ?jobs ?(seed = 11) ?(scenarios = 50) () =
     let rng = Rng.create seed in
-    let results =
-      List.init scenarios (fun _ -> run_one (Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF))
-    in
+    let seeds = List.init scenarios (fun _ -> Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF) in
+    let results = Pool.map ?jobs run_one seeds in
     let pick f = List.map f results in
     {
       scenarios;
@@ -130,11 +129,10 @@ module Query = struct
     let rd_query, delay_query = tree_vs_spf ~spf_tree ~tree:query ~members in
     (rd_full, rd_query, delay_full, delay_query)
 
-  let run ?(seed = 12) ?(scenarios = 50) () =
+  let run ?jobs ?(seed = 12) ?(scenarios = 50) () =
     let rng = Rng.create seed in
-    let results =
-      List.init scenarios (fun _ -> run_one (Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF))
-    in
+    let seeds = List.init scenarios (fun _ -> Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF) in
+    let results = Pool.map ?jobs run_one seeds in
     let pick f = List.map f results in
     {
       scenarios;
@@ -223,12 +221,10 @@ module Hierarchical = struct
       (Hierarchy.member_domains hier);
     !results
 
-  let run ?(seed = 13) ?(scenarios = 20) () =
+  let run ?jobs ?(seed = 13) ?(scenarios = 20) () =
     let rng = Rng.create seed in
-    let all =
-      List.concat
-        (List.init scenarios (fun _ -> run_one (Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF)))
-    in
+    let seeds = List.init scenarios (fun _ -> Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF) in
+    let all = List.concat (Pool.map ?jobs run_one seeds) in
     let hier_rds = List.concat_map (fun (h, _, _, _, _) -> h) all in
     let flat_rds = List.concat_map (fun (_, _, f, _, _) -> f) all in
     let confined = List.length (List.filter (fun (_, c, _, _, _) -> c) all) in

@@ -20,7 +20,7 @@ type row = {
 
 (* Worst-case global-detour RD on the baseline tree vs local-detour RD on
    the SMRP tree — the same full-system metric as Figs. 8-10. *)
-let rd_reduction ~baseline_tree ~smrp_tree m =
+let rd_reduction ?ws ~baseline_tree ~smrp_tree m =
   let rd tree strategy =
     match Failure.worst_case_for_member tree m with
     | None -> None
@@ -28,55 +28,61 @@ let rd_reduction ~baseline_tree ~smrp_tree m =
         Option.map
           (fun d -> d.Recovery.recovery_distance)
           (match strategy with
-          | `Global -> Recovery.global_detour tree f ~member:m
-          | `Local -> Recovery.local_detour tree f ~member:m)
+          | `Global -> Recovery.global_detour ?ws tree f ~member:m
+          | `Local -> Recovery.local_detour ?ws tree f ~member:m)
   in
   match (rd baseline_tree `Global, rd smrp_tree `Local) with
   | Some b, Some i when b > 0.0 -> Some (Stats.relative_reduction ~baseline:b ~improved:i)
   | _ -> None
 
-let run ?(seed = 21) ?(scenarios = 50) () =
-  let rng = Rng.create seed in
-  let rd_spf = ref [] and rd_st = ref [] in
-  let cost_spf = ref [] and cost_smrp = ref [] and delay_st = ref [] in
-  for _ = 1 to scenarios do
-    let topo_rng = Rng.split rng in
-    let member_rng = Rng.split rng in
-    let topo = Waxman.generate ~link_delay:`Unit topo_rng ~n:100 ~alpha:0.2 ~beta:0.2 in
-    let g = topo.Waxman.graph in
-    let chosen = Array.of_list (Rng.sample_without_replacement member_rng 31 100) in
-    Rng.shuffle member_rng chosen;
-    let source = chosen.(0) in
-    let members = Array.to_list (Array.sub chosen 1 30) in
-    let spf = Spf.build g ~source ~members in
-    let smrp = Smrp.build ~d_thresh:0.3 g ~source ~members in
-    let steiner = Steiner.build g ~source ~members in
-    let steiner_cost = Tree.total_cost steiner in
-    cost_spf := Stats.relative_increase ~baseline:steiner_cost ~changed:(Tree.total_cost spf) :: !cost_spf;
-    cost_smrp :=
-      Stats.relative_increase ~baseline:steiner_cost ~changed:(Tree.total_cost smrp) :: !cost_smrp;
-    List.iter
+(* One scenario's contribution, with the per-member item lists in member
+   order (the order the sequential loop prepended them in). *)
+let run_one (topo_rng, member_rng) =
+  let topo = Waxman.generate ~link_delay:`Unit topo_rng ~n:100 ~alpha:0.2 ~beta:0.2 in
+  let g = topo.Waxman.graph in
+  let chosen = Array.of_list (Rng.sample_without_replacement member_rng 31 100) in
+  Rng.shuffle member_rng chosen;
+  let source = chosen.(0) in
+  let members = Array.to_list (Array.sub chosen 1 30) in
+  let ws = Smrp_graph.Dijkstra.workspace ~capacity:100 () in
+  let spf = Spf.build ~ws g ~source ~members in
+  let smrp = Smrp.build ~d_thresh:0.3 ~ws g ~source ~members in
+  let steiner = Steiner.build g ~source ~members in
+  let steiner_cost = Tree.total_cost steiner in
+  let cost_spf = Stats.relative_increase ~baseline:steiner_cost ~changed:(Tree.total_cost spf) in
+  let cost_smrp = Stats.relative_increase ~baseline:steiner_cost ~changed:(Tree.total_cost smrp) in
+  let delay_st =
+    List.map
       (fun m ->
-        delay_st :=
-          Stats.relative_increase
-            ~baseline:(Tree.delay_to_source spf m)
-            ~changed:(Tree.delay_to_source steiner m)
-          :: !delay_st;
-        (match rd_reduction ~baseline_tree:spf ~smrp_tree:smrp m with
-        | Some r -> rd_spf := r :: !rd_spf
-        | None -> ());
-        match rd_reduction ~baseline_tree:steiner ~smrp_tree:smrp m with
-        | Some r -> rd_st := r :: !rd_st
-        | None -> ())
+        Stats.relative_increase
+          ~baseline:(Tree.delay_to_source spf m)
+          ~changed:(Tree.delay_to_source steiner m))
       members
-  done;
+  in
+  let rd_spf = List.filter_map (rd_reduction ~ws ~baseline_tree:spf ~smrp_tree:smrp) members in
+  let rd_st = List.filter_map (rd_reduction ~ws ~baseline_tree:steiner ~smrp_tree:smrp) members in
+  (cost_spf, cost_smrp, delay_st, rd_spf, rd_st)
+
+let run ?jobs ?(seed = 21) ?(scenarios = 50) () =
+  let rng = Rng.create seed in
+  let draws =
+    List.init scenarios (fun _ ->
+        let topo_rng = Rng.split rng in
+        let member_rng = Rng.split rng in
+        (topo_rng, member_rng))
+  in
+  let results = Pool.map ?jobs run_one draws in
+  (* Merge so each list ends up exactly as the sequential prepend loop left
+     it (scenario N's items first, each scenario's items reversed) — the
+     float-summation order inside Stats is unchanged. *)
+  let merge items_of = List.fold_left (fun acc r -> List.rev_append (items_of r) acc) [] results in
   {
     scenarios;
-    rd_vs_spf = Stats.summarize !rd_spf;
-    rd_vs_steiner = Stats.summarize !rd_st;
-    cost_spf_vs_steiner = Stats.summarize !cost_spf;
-    cost_smrp_vs_steiner = Stats.summarize !cost_smrp;
-    delay_steiner_vs_spf = Stats.summarize !delay_st;
+    rd_vs_spf = Stats.summarize (merge (fun (_, _, _, r, _) -> r));
+    rd_vs_steiner = Stats.summarize (merge (fun (_, _, _, _, r) -> r));
+    cost_spf_vs_steiner = Stats.summarize (merge (fun (c, _, _, _, _) -> [ c ]));
+    cost_smrp_vs_steiner = Stats.summarize (merge (fun (_, c, _, _, _) -> [ c ]));
+    delay_steiner_vs_spf = Stats.summarize (merge (fun (_, _, d, _, _) -> d));
   }
 
 let pct s = Printf.sprintf "%5.1f%% ± %.1f" (100.0 *. s.Stats.mean) (100.0 *. s.Stats.ci95)

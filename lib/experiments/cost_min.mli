@@ -21,6 +21,8 @@ type row = {
           delay away). *)
 }
 
-val run : ?seed:int -> ?scenarios:int -> unit -> row
+val run : ?jobs:int -> ?seed:int -> ?scenarios:int -> unit -> row
+(** Scenarios fan out over {!Pool.map}; the result is byte-identical
+    whatever [jobs]. *)
 
 val render : row -> string

@@ -51,39 +51,57 @@ let transit_stub_draw rng =
   in
   { graph = topo.Transit_stub.graph; pool }
 
-let measure_family ~seed ~scenarios ~generate name =
+let measure_one ~generate (topo_rng, member_rng) =
+  let { graph; pool } = generate topo_rng in
+  let degree = Graph.average_degree graph in
+  let pool = Array.of_list pool in
+  Rng.shuffle member_rng pool;
+  let source = pool.(0) in
+  let members = Array.to_list (Array.sub pool 1 (min 30 (Array.length pool - 1))) in
+  let spf_tree, smrp_tree, outcomes = Scenario.evaluate graph ~source ~members ~d_thresh:0.3 in
+  let rels =
+    List.filter_map
+      (fun o ->
+        match (o.Scenario.rd_global_spf, o.Scenario.rd_local_smrp) with
+        | Some b, Some i when b > 0.0 -> Some (Stats.relative_reduction ~baseline:b ~improved:i)
+        | _ -> None)
+      outcomes
+  in
+  let rd = match rels with [] -> None | _ -> Some (Stats.mean rels) in
+  let delay =
+    Stats.mean
+      (List.map
+         (fun o -> Stats.relative_increase ~baseline:o.Scenario.delay_spf ~changed:o.Scenario.delay_smrp)
+         outcomes)
+  in
+  let cost =
+    Stats.relative_increase ~baseline:(Tree.total_cost spf_tree)
+      ~changed:(Tree.total_cost smrp_tree)
+  in
+  (degree, rd, delay, cost)
+
+let measure_family ?jobs ~seed ~scenarios ~generate name =
+  (* The per-scenario RNG pairs are split off sequentially so the stream
+     consumed is identical to the historical sequential loop; only the
+     (pure) per-scenario measurement fans out. *)
   let rng = Rng.create seed in
+  let draws =
+    List.init scenarios (fun _ ->
+        let topo_rng = Rng.split rng in
+        let member_rng = Rng.split rng in
+        (topo_rng, member_rng))
+  in
+  let results = Pool.map ?jobs (measure_one ~generate) draws in
+  (* Prepend in scenario order, exactly as the old accumulator loop did, so
+     the float-summation order (and thus every mean) is unchanged. *)
   let rd = ref [] and delay = ref [] and cost = ref [] and degree = ref [] in
-  for _ = 1 to scenarios do
-    let topo_rng = Rng.split rng in
-    let member_rng = Rng.split rng in
-    let { graph; pool } = generate topo_rng in
-    degree := Graph.average_degree graph :: !degree;
-    let pool = Array.of_list pool in
-    Rng.shuffle member_rng pool;
-    let source = pool.(0) in
-    let members = Array.to_list (Array.sub pool 1 (min 30 (Array.length pool - 1))) in
-    let spf_tree, smrp_tree, outcomes = Scenario.evaluate graph ~source ~members ~d_thresh:0.3 in
-    let rels =
-      List.filter_map
-        (fun o ->
-          match (o.Scenario.rd_global_spf, o.Scenario.rd_local_smrp) with
-          | Some b, Some i when b > 0.0 -> Some (Stats.relative_reduction ~baseline:b ~improved:i)
-          | _ -> None)
-        outcomes
-    in
-    if rels <> [] then rd := Stats.mean rels :: !rd;
-    delay :=
-      Stats.mean
-        (List.map
-           (fun o -> Stats.relative_increase ~baseline:o.Scenario.delay_spf ~changed:o.Scenario.delay_smrp)
-           outcomes)
-      :: !delay;
-    cost :=
-      Stats.relative_increase ~baseline:(Tree.total_cost spf_tree)
-        ~changed:(Tree.total_cost smrp_tree)
-      :: !cost
-  done;
+  List.iter
+    (fun (dg, rd_opt, dl, c) ->
+      degree := dg :: !degree;
+      (match rd_opt with Some v -> rd := v :: !rd | None -> ());
+      delay := dl :: !delay;
+      cost := c :: !cost)
+    results;
   {
     family = name;
     average_degree = Stats.mean !degree;
@@ -92,12 +110,12 @@ let measure_family ~seed ~scenarios ~generate name =
     cost = Stats.summarize !cost;
   }
 
-let run ?(seed = 31) ?(scenarios = 50) ?(target_degree = 4.5) () =
+let run ?jobs ?(seed = 31) ?(scenarios = 50) ?(target_degree = 4.5) () =
   [
-    measure_family ~seed ~scenarios ~generate:waxman_draw "waxman";
-    measure_family ~seed ~scenarios ~generate:(pure_random_draw target_degree) "pure-random";
-    measure_family ~seed ~scenarios ~generate:(locality_draw target_degree) "locality";
-    measure_family ~seed ~scenarios ~generate:transit_stub_draw "transit-stub";
+    measure_family ?jobs ~seed ~scenarios ~generate:waxman_draw "waxman";
+    measure_family ?jobs ~seed ~scenarios ~generate:(pure_random_draw target_degree) "pure-random";
+    measure_family ?jobs ~seed ~scenarios ~generate:(locality_draw target_degree) "locality";
+    measure_family ?jobs ~seed ~scenarios ~generate:transit_stub_draw "transit-stub";
   ]
 
 let pct s = Printf.sprintf "%5.1f%% ± %.1f" (100.0 *. s.Stats.mean) (100.0 *. s.Stats.ci95)

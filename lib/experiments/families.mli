@@ -11,8 +11,9 @@ type row = {
   cost : Smrp_metrics.Stats.summary;
 }
 
-val run : ?seed:int -> ?scenarios:int -> ?target_degree:float -> unit -> row list
+val run : ?jobs:int -> ?seed:int -> ?scenarios:int -> ?target_degree:float -> unit -> row list
 (** Families: waxman, pure-random, locality, transit-stub; [target_degree]
-    defaults to 4.5 (the reference Waxman density). *)
+    defaults to 4.5 (the reference Waxman density).  Scenarios fan out over
+    {!Pool.map}; the result is byte-identical whatever [jobs]. *)
 
 val render : row list -> string

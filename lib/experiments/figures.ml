@@ -9,12 +9,29 @@ let scenario_seeds ~seed ~count =
   let rng = Rng.create seed in
   List.init count (fun _ -> Int64.to_int (Rng.bits64 rng) land 0x3FFFFFFF)
 
-let sweep ~seed ~scenarios ~configs =
+(* All data points of a figure fan out through one flat Pool.map — a slow
+   config does not serialize behind a fast one — and are regrouped per
+   config afterwards, preserving the sequential order exactly. *)
+let sweep ?jobs ~seed ~scenarios ~configs () =
+  let per_config =
+    List.map
+      (fun make_config ->
+        let seeds = scenario_seeds ~seed ~count:scenarios in
+        List.map make_config seeds)
+      configs
+  in
+  let results = ref (Scenario.run_many ?jobs (List.concat per_config)) in
   List.map
-    (fun make_config ->
-      let seeds = scenario_seeds ~seed ~count:scenarios in
-      List.map (fun s -> Scenario.run (make_config s)) seeds)
-    configs
+    (fun cfgs ->
+      let k = List.length cfgs in
+      let rec take k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else match rest with x :: tl -> take (k - 1) (x :: acc) tl | [] -> assert false
+      in
+      let group, rest = take k [] !results in
+      results := rest;
+      group)
+    per_config
 
 type point_summary = {
   rd : Stats.summary;
@@ -48,19 +65,22 @@ module Fig7 = struct
     on_diagonal_fraction : float;
   }
 
-  let run ?(seed = 7) ?(topologies = 5) () =
+  let run ?jobs ?(seed = 7) ?(topologies = 5) () =
     let seeds = scenario_seeds ~seed ~count:topologies in
+    let scenarios =
+      Scenario.run_many ?jobs
+        (List.map (fun s -> { Scenario.default with seed = s; link_delay = `Euclidean }) seeds)
+    in
     let points =
       List.concat_map
-        (fun s ->
-          let scenario = Scenario.run { Scenario.default with seed = s; link_delay = `Euclidean } in
+        (fun scenario ->
           List.filter_map
             (fun o ->
               match (o.Scenario.rd_global_smrp, o.Scenario.rd_local_smrp) with
               | Some g, Some l -> Some (g, l)
               | _ -> None)
             scenario.Scenario.outcomes)
-        seeds
+        scenarios
     in
     let reductions =
       List.filter_map
@@ -108,7 +128,7 @@ module Fig8 = struct
     cost : Stats.summary;
   }
 
-  let run ?(seed = 8) ?(values = [ 0.1; 0.2; 0.3; 0.4 ]) ?(scenarios = 100) () =
+  let run ?jobs ?(seed = 8) ?(values = [ 0.1; 0.2; 0.3; 0.4 ]) ?(scenarios = 100) () =
     let configs =
       List.map (fun dt s -> { Scenario.default with d_thresh = dt; seed = s }) values
     in
@@ -117,7 +137,7 @@ module Fig8 = struct
         let s = summaries runs in
         { d_thresh = dt; rd = s.rd; rd_tree = s.rd_tree; delay = s.delay; cost = s.cost })
       values
-      (sweep ~seed ~scenarios ~configs)
+      (sweep ?jobs ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =
@@ -161,7 +181,7 @@ module Fig9 = struct
     cost : Stats.summary;
   }
 
-  let run ?(seed = 9) ?(values = [ 0.15; 0.2; 0.25; 0.3 ]) ?(scenarios = 100)
+  let run ?jobs ?(seed = 9) ?(values = [ 0.15; 0.2; 0.25; 0.3 ]) ?(scenarios = 100)
       ?(degree_ten_row = true) () =
     let values =
       if degree_ten_row then begin
@@ -180,7 +200,7 @@ module Fig9 = struct
         let s = summaries runs in
         { alpha = a; average_degree = s.degree.Stats.mean; rd = s.rd; delay = s.delay; cost = s.cost })
       values
-      (sweep ~seed ~scenarios ~configs)
+      (sweep ?jobs ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =
@@ -229,14 +249,14 @@ module Fig10 = struct
     cost : Stats.summary;
   }
 
-  let run ?(seed = 10) ?(values = [ 20; 30; 40; 50 ]) ?(scenarios = 100) () =
+  let run ?jobs ?(seed = 10) ?(values = [ 20; 30; 40; 50 ]) ?(scenarios = 100) () =
     let configs = List.map (fun ng s -> { Scenario.default with group_size = ng; seed = s }) values in
     List.map2
       (fun ng runs ->
         let s = summaries runs in
         { group_size = ng; rd = s.rd; delay = s.delay; cost = s.cost })
       values
-      (sweep ~seed ~scenarios ~configs)
+      (sweep ?jobs ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =

@@ -1,6 +1,7 @@
 (** Drivers regenerating each figure of §4.  Every run is deterministic in
     its [seed]; scenario counts default to the paper's but scale down for
-    quick runs.
+    quick runs.  Scenario fan-outs run domain-parallel through {!Pool}
+    ([jobs] to override; results are byte-identical whatever the count).
 
     Sampling note: the paper reuses each random topology for several member
     sets (e.g. 10 × 10 in Fig. 8); we draw an independent topology per
@@ -18,10 +19,11 @@ module Fig7 : sig
     on_diagonal_fraction : float;  (** Equal-length detours (ties). *)
   }
 
-  val run : ?seed:int -> ?topologies:int -> unit -> result
+  val run : ?jobs:int -> ?seed:int -> ?topologies:int -> unit -> result
   (** Default: 5 topologies of the reference configuration, with Euclidean
       link delays (the scatter is over a continuous recovery-distance
-      scale, as in the paper's plot). *)
+      scale, as in the paper's plot).  [jobs] caps the domain fan-out
+      (default {!Pool.default_jobs}); any value yields identical results. *)
 
   val render : result -> string
 
@@ -42,7 +44,7 @@ module Fig8 : sig
     cost : Smrp_metrics.Stats.summary;
   }
 
-  val run : ?seed:int -> ?values:float list -> ?scenarios:int -> unit -> row list
+  val run : ?jobs:int -> ?seed:int -> ?values:float list -> ?scenarios:int -> unit -> row list
   (** Defaults: D_thresh ∈ {0.1, 0.2, 0.3, 0.4}, 100 scenarios each. *)
 
   val render : row list -> string
@@ -64,7 +66,13 @@ module Fig9 : sig
   }
 
   val run :
-    ?seed:int -> ?values:float list -> ?scenarios:int -> ?degree_ten_row:bool -> unit -> row list
+    ?jobs:int ->
+    ?seed:int ->
+    ?values:float list ->
+    ?scenarios:int ->
+    ?degree_ten_row:bool ->
+    unit ->
+    row list
   (** Defaults: α ∈ {0.15, 0.2, 0.25, 0.3}, 100 scenarios each, plus the
       §4.3.3 extension row with α calibrated to average degree ≈ 10. *)
 
@@ -85,7 +93,7 @@ module Fig10 : sig
     cost : Smrp_metrics.Stats.summary;
   }
 
-  val run : ?seed:int -> ?values:int list -> ?scenarios:int -> unit -> row list
+  val run : ?jobs:int -> ?seed:int -> ?values:int list -> ?scenarios:int -> unit -> row list
   (** Defaults: N_G ∈ {20, 30, 40, 50}, 100 scenarios each. *)
 
   val render : row list -> string

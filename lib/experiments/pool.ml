@@ -1,0 +1,54 @@
+(* Domain-parallel fan-out for embarrassingly parallel scenario sweeps.
+
+   Every §4 figure averages ~100 independently seeded scenarios per data
+   point; each scenario is a pure function of its config (topology, group and
+   failure draws all derive from the scenario seed), so the fan-out is
+   deterministic by construction: workers write into the slot of the input
+   they claimed, and the merged output is read back in input order.  Running
+   with 1 job or 64 therefore yields byte-identical results — the contract
+   the experiment tables rely on.
+
+   Workers share nothing: each scenario builds its own graph, trees, RNG and
+   Dijkstra workspace inside the worker that claimed it. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "SMRP_BENCH_JOBS" with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          Printf.eprintf
+            "warning: SMRP_BENCH_JOBS=%S is not a positive integer; using the domain count\n%!" v;
+          Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get error = None then begin
+          (match f tasks.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.to_list (Array.map (function Some v -> v | None -> assert false) results)
+  end
+
+let mapi ?jobs f xs = map ?jobs (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)

@@ -1,0 +1,24 @@
+(** Domain-parallel fan-out over independent seeded scenarios.
+
+    {b Determinism contract}: [map f xs] equals [List.map f xs] exactly —
+    workers claim inputs from a shared queue but write results into the slot
+    of the input claimed, and the output is merged back in input order.
+    Provided [f] is a pure function of its argument (every scenario derives
+    its topology, group, failures and RNG stream from its own seed), the
+    result is byte-identical whatever the job count or scheduling.
+
+    [f] must not share mutable state across calls: each invocation runs in
+    whichever worker domain claimed it. *)
+
+val default_jobs : unit -> int
+(** [SMRP_BENCH_JOBS] if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?jobs f xs] is [List.map f xs] computed on [min jobs (length xs)]
+    domains (the calling domain included).  [jobs] defaults to
+    {!default_jobs}; [jobs <= 1] runs sequentially in the calling domain
+    with no domain spawned.  The first exception raised by [f] stops the
+    fan-out and is re-raised after all workers join. *)
+
+val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

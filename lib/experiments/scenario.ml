@@ -1,5 +1,6 @@
 module Rng = Smrp_rng.Rng
 module Graph = Smrp_graph.Graph
+module Dijkstra = Smrp_graph.Dijkstra
 module Waxman = Smrp_topology.Waxman
 module Tree = Smrp_core.Tree
 module Spf = Smrp_core.Spf
@@ -57,28 +58,35 @@ type t = {
 
 (* Worst-case failure for a member in a given tree (§4.3.1), then the
    recovery distance under the given strategy. *)
-let recovery_distance tree member strategy =
+let recovery_distance ?ws tree member strategy =
   match Failure.worst_case_for_member tree member with
   | None -> None
   | Some f -> begin
       let detour =
         match strategy with
-        | `Local -> Recovery.local_detour tree f ~member
-        | `Global -> Recovery.global_detour tree f ~member
+        | `Local -> Recovery.local_detour ?ws tree f ~member
+        | `Global -> Recovery.global_detour ?ws tree f ~member
       in
       Option.map (fun d -> d.Recovery.recovery_distance) detour
     end
 
-let evaluate graph ~source ~members ~d_thresh =
-  let spf_tree = Spf.build graph ~source ~members in
-  let smrp_tree = Smrp.build ~d_thresh graph ~source ~members in
+let evaluate ?ws graph ~source ~members ~d_thresh =
+  (* One Dijkstra workspace serves every search of the scenario: both tree
+     builds and all four recovery measurements per member. *)
+  let ws =
+    match ws with
+    | Some ws -> ws
+    | None -> Dijkstra.workspace ~capacity:(Graph.node_count graph) ()
+  in
+  let spf_tree = Spf.build ~ws graph ~source ~members in
+  let smrp_tree = Smrp.build ~d_thresh ~ws graph ~source ~members in
   let outcome m =
     {
       member = m;
-      rd_local_spf = recovery_distance spf_tree m `Local;
-      rd_local_smrp = recovery_distance smrp_tree m `Local;
-      rd_global_spf = recovery_distance spf_tree m `Global;
-      rd_global_smrp = recovery_distance smrp_tree m `Global;
+      rd_local_spf = recovery_distance ~ws spf_tree m `Local;
+      rd_local_smrp = recovery_distance ~ws smrp_tree m `Local;
+      rd_global_spf = recovery_distance ~ws spf_tree m `Global;
+      rd_global_smrp = recovery_distance ~ws smrp_tree m `Global;
       delay_spf = Tree.delay_to_source spf_tree m;
       delay_smrp = Tree.delay_to_source smrp_tree m;
     }
@@ -116,6 +124,8 @@ let run config =
     cost_smrp = Tree.total_cost smrp_tree;
     outcomes;
   }
+
+let run_many ?jobs configs = Pool.map ?jobs run configs
 
 type aggregates = {
   rd_relative : float;

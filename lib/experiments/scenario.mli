@@ -47,9 +47,15 @@ type t = {
 }
 
 val run : config -> t
-(** Deterministic in [config] (including [seed]). *)
+(** Deterministic in [config] (including [seed]): safe to fan out across
+    domains with {!Pool.map}. *)
+
+val run_many : ?jobs:int -> config list -> t list
+(** [run_many configs] is [List.map run configs] fanned out over
+    {!Pool.map}; byte-identical to the sequential map whatever [jobs]. *)
 
 val evaluate :
+  ?ws:Smrp_graph.Dijkstra.workspace ->
   Smrp_graph.Graph.t ->
   source:int ->
   members:int list ->

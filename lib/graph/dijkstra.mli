@@ -11,15 +11,43 @@
       candidate connection for which [R] is the true merge point (paper
       footnote 4). *)
 
+type workspace
+(** Reusable scratch state (distance/parent/stamp arrays plus an
+    int-specialised binary heap).  A [run] that borrows a workspace allocates
+    nothing on the search path; repeated runs clear state lazily by bumping
+    an epoch counter rather than re-zeroing arrays.  A workspace belongs to
+    one domain at a time — create one per worker, never share concurrently. *)
+
+val workspace : ?capacity:int -> unit -> workspace
+(** [workspace ~capacity:n ()] pre-sizes for graphs of up to [n] nodes; it
+    grows on demand if a larger graph is searched. *)
+
 type result
 
 val run :
   ?node_ok:(int -> bool) ->
   ?edge_ok:(int -> bool) ->
   ?absorb:(int -> bool) ->
+  ?workspace:workspace ->
   Graph.t ->
   source:int ->
   result
+(** With [?workspace], the result {e borrows} the workspace arrays and is
+    valid only until the next [run] on the same workspace; accessors raise
+    [Invalid_argument] on a stale result.  Without it, a private workspace is
+    allocated and the result stays valid indefinitely. *)
+
+val run_reference :
+  ?node_ok:(int -> bool) ->
+  ?edge_ok:(int -> bool) ->
+  ?absorb:(int -> bool) ->
+  Graph.t ->
+  source:int ->
+  result
+(** The retained pre-CSR implementation (adjacency lists, boxed polymorphic
+    heap, fresh arrays per call).  Kept as the differential-testing oracle:
+    for any graph, filters and source it must agree with {!run} exactly —
+    same distances, same parents, same tie-breaks. *)
 
 val source : result -> int
 
@@ -40,6 +68,7 @@ val path_edges : result -> int -> int list option
 val shortest_path :
   ?node_ok:(int -> bool) ->
   ?edge_ok:(int -> bool) ->
+  ?workspace:workspace ->
   Graph.t ->
   src:int ->
   dst:int ->

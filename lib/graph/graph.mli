@@ -42,8 +42,28 @@ val mem_edge : t -> int -> int -> bool
 val other_end : edge -> int -> int
 (** [other_end e u] is the endpoint of [e] distinct from [u]. *)
 
+val freeze : t -> unit
+(** Build the CSR (compressed sparse row) adjacency view if any edge has been
+    added since the last build.  Read-path traversals call this implicitly;
+    call it explicitly before sharing a graph read-only across domains, since
+    the lazy rebuild is not synchronised. *)
+
+val csr : t -> int array * int array * int array * float array
+(** [csr g] freezes [g] and returns the physical CSR arrays
+    [(offsets, neighbor, edge_id, delay)]: the incident edges of node [u]
+    occupy indices [offsets.(u) .. offsets.(u+1) - 1] of the three flat
+    arrays, in insertion order.  For tight loops that cannot afford the
+    closure call of {!iter_neighbors}.  The arrays are the graph's own:
+    treat them as read-only and do not retain them across a mutation. *)
+
+val iter_neighbors : t -> int -> (int -> int -> float -> unit) -> unit
+(** [iter_neighbors g u f] applies [f neighbor edge_id delay] to each incident
+    edge of [u] in insertion order, straight off the CSR arrays — the
+    allocation-free replacement for {!neighbors} on hot paths. *)
+
 val neighbors : t -> int -> (int * int) list
-(** [neighbors g u] lists [(v, edge_id)] pairs, in insertion order. *)
+(** [neighbors g u] lists [(v, edge_id)] pairs, in insertion order.
+    Allocates a fresh list per call; prefer {!iter_neighbors} on hot paths. *)
 
 val degree : t -> int -> int
 

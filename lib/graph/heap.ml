@@ -4,9 +4,12 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  initial_capacity : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+let create ?(capacity = 16) () =
+  if capacity < 0 then invalid_arg "Heap.create: negative capacity";
+  { data = [||]; size = 0; next_seq = 0; initial_capacity = max 16 capacity }
 
 let length h = h.size
 
@@ -17,7 +20,7 @@ let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
 let grow h entry =
   let capacity = Array.length h.data in
   if h.size = capacity then begin
-    let capacity' = max 16 (2 * capacity) in
+    let capacity' = max h.initial_capacity (2 * capacity) in
     let data' = Array.make capacity' entry in
     Array.blit h.data 0 data' 0 h.size;
     h.data <- data'
@@ -29,19 +32,19 @@ let add h prio value =
   grow h entry;
   h.data.(h.size) <- entry;
   h.size <- h.size + 1;
-  (* Sift up. *)
+  (* Sift up.  The parent index is computed once per level. *)
   let i = ref (h.size - 1) in
-  while
-    !i > 0
-    &&
+  let continue = ref (!i > 0) in
+  while !continue do
     let parent = (!i - 1) / 2 in
-    before h.data.(!i) h.data.(parent)
-  do
-    let parent = (!i - 1) / 2 in
-    let tmp = h.data.(!i) in
-    h.data.(!i) <- h.data.(parent);
-    h.data.(parent) <- tmp;
-    i := parent
+    if before h.data.(!i) h.data.(parent) then begin
+      let tmp = h.data.(!i) in
+      h.data.(!i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      i := parent;
+      continue := !i > 0
+    end
+    else continue := false
   done
 
 let peek_min h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)

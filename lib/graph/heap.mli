@@ -4,7 +4,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
+val create : ?capacity:int -> unit -> 'a t
+(** [create ?capacity ()] is an empty heap.  [capacity] pre-sizes the backing
+    array (applied at the first insertion) so a heap whose final size is known
+    never reallocates; it is a hint, not a limit. *)
 
 val length : 'a t -> int
 

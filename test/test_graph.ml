@@ -51,6 +51,48 @@ let neighbors_and_lookup () =
   check_int "other end" 3 (Graph.other_end e 2);
   check_int "other end sym" 2 (Graph.other_end e 3)
 
+let csr_matches_neighbors () =
+  let g = Fixtures.diamond () in
+  (* iter_neighbors enumerates exactly what neighbors lists, with the
+     edge's delay attached, node by node. *)
+  for u = 0 to Graph.node_count g - 1 do
+    let seen = ref [] in
+    Graph.iter_neighbors g u (fun v eid delay ->
+        check_float (Printf.sprintf "delay of edge %d" eid) (Graph.edge g eid).Graph.delay delay;
+        seen := (v, eid) :: !seen);
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "neighbors of %d" u)
+      (Graph.neighbors g u) (List.rev !seen)
+  done;
+  (* The raw CSR arrays tell the same story. *)
+  let offsets, nbr, eids, delays = Graph.csr g in
+  check_int "offsets span" (Graph.node_count g + 1) (Array.length offsets);
+  check_int "one slot per edge direction" (2 * Graph.edge_count g) (Array.length nbr);
+  for u = 0 to Graph.node_count g - 1 do
+    check_int (Printf.sprintf "degree of %d" u) (Graph.degree g u) (offsets.(u + 1) - offsets.(u));
+    for i = offsets.(u) to offsets.(u + 1) - 1 do
+      let e = Graph.edge g eids.(i) in
+      check_int "neighbor is the other end" (Graph.other_end e u) nbr.(i);
+      check_float "delay slot" e.Graph.delay delays.(i)
+    done
+  done
+
+let csr_rebuilds_after_mutation () =
+  let g = Graph.create 3 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  Graph.freeze g;
+  let count u =
+    let c = ref 0 in
+    Graph.iter_neighbors g u (fun _ _ _ -> incr c);
+    !c
+  in
+  check_int "degree before" 1 (count 0);
+  (* Adding an edge invalidates the frozen view; the next read rebuilds. *)
+  ignore (Graph.add_edge g 0 2 1.0);
+  check_int "degree after" 2 (count 0);
+  check "new edge visible to mem_edge" true (Graph.mem_edge g 2 0);
+  check "absent edge" false (Graph.mem_edge g 1 2)
+
 (* -- Dijkstra ---------------------------------------------------------- *)
 
 let line_distances () =
@@ -320,6 +362,8 @@ let () =
           Alcotest.test_case "build and inspect" `Quick build_basics;
           Alcotest.test_case "rejects bad edges" `Quick rejects_bad_edges;
           Alcotest.test_case "neighbors and lookup" `Quick neighbors_and_lookup;
+          Alcotest.test_case "CSR matches neighbors" `Quick csr_matches_neighbors;
+          Alcotest.test_case "CSR rebuilds after mutation" `Quick csr_rebuilds_after_mutation;
         ] );
       ( "dijkstra",
         [

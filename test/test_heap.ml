@@ -1,4 +1,5 @@
 module Heap = Smrp_graph.Heap
+module Int_heap = Smrp_graph.Int_heap
 
 (* Property tests run with a pinned PRNG state so failures are
    reproducible run over run. *)
@@ -6,6 +7,7 @@ let qcheck_case t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 4242
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let check_ilist = Alcotest.(check (list int))
 
 let pops_in_order () =
   let h = Heap.create () in
@@ -96,6 +98,81 @@ let qcheck_stable_ties =
       in
       drain None)
 
+let capacity_pre_sizing () =
+  (* A tiny initial capacity still grows transparently... *)
+  let h = Heap.create ~capacity:1 () in
+  List.iter (fun p -> Heap.add h p p) [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let order = List.init 5 (fun _ -> snd (Option.get (Heap.pop_min h))) in
+  Alcotest.(check (list (float 0.0))) "grown from capacity 1" [ 1.0; 2.0; 3.0; 4.0; 5.0 ] order;
+  (* ...and a generous one is just as correct. *)
+  let h = Heap.create ~capacity:64 () in
+  List.iter (fun p -> Heap.add h p p) [ 2.0; 1.0 ];
+  Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "pre-sized"
+    (Some (1.0, 1.0)) (Heap.pop_min h)
+
+(* -- Int_heap: the unboxed heap behind the Dijkstra workspace ---------- *)
+
+let int_heap_pops_in_order () =
+  let h = Int_heap.create ~capacity:1 () in
+  List.iteri (fun i p -> Int_heap.add h p (10 + i)) [ 5.0; 1.0; 4.0; 2.0; 3.0 ];
+  let order = List.init 5 (fun _ -> snd (Option.get (Int_heap.pop_min h))) in
+  check_ilist "sorted by priority" [ 11; 13; 14; 12; 10 ] order
+
+let int_heap_fifo_on_ties () =
+  let h = Int_heap.create () in
+  List.iter (fun v -> Int_heap.add h 1.0 v) [ 7; 8; 9 ];
+  Int_heap.add h 0.5 6;
+  let order = List.init 4 (fun _ -> snd (Option.get (Int_heap.pop_min h))) in
+  check_ilist "priority then insertion order" [ 6; 7; 8; 9 ] order
+
+let int_heap_top_and_drop () =
+  let h = Int_heap.create () in
+  check "empty" true (Int_heap.is_empty h);
+  Int_heap.add h 2.0 20;
+  Int_heap.add h 1.0 10;
+  check_int "length" 2 (Int_heap.length h);
+  Alcotest.(check (float 0.0)) "top_prio" 1.0 (Int_heap.top_prio h);
+  check_int "top" 10 (Int_heap.top h);
+  Int_heap.drop h;
+  check_int "top after drop" 20 (Int_heap.top h);
+  Int_heap.drop h;
+  check "drained" true (Int_heap.is_empty h);
+  Alcotest.check_raises "top on empty" (Invalid_argument "Int_heap.top: empty heap") (fun () ->
+      ignore (Int_heap.top h))
+
+let int_heap_clear_reuses () =
+  let h = Int_heap.create ~capacity:2 () in
+  List.iter (fun v -> Int_heap.add h (float_of_int v) v) [ 3; 1; 2 ];
+  Int_heap.clear h;
+  check "cleared" true (Int_heap.is_empty h);
+  (* After clear the sequence stamps restart, so ties are FIFO again. *)
+  List.iter (fun v -> Int_heap.add h 1.0 v) [ 4; 5 ];
+  let order = List.init 2 (fun _ -> snd (Option.get (Int_heap.pop_min h))) in
+  check_ilist "fifo after clear" [ 4; 5 ] order
+
+(* Differential check against the generic heap: identical pop sequences on
+   random workloads, including equal priorities — Dijkstra's determinism
+   rests on this agreement. *)
+let qcheck_int_heap_matches_generic =
+  QCheck.Test.make ~name:"Int_heap pops in the same order as Heap" ~count:200
+    QCheck.(list (pair (int_range 0 9) (int_range 0 999)))
+    (fun entries ->
+      let ih = Int_heap.create ~capacity:1 () in
+      let gh = Heap.create () in
+      List.iter
+        (fun (p, v) ->
+          let p = float_of_int p in
+          Int_heap.add ih p v;
+          Heap.add gh p v)
+        entries;
+      let rec drain () =
+        match (Int_heap.pop_min ih, Heap.pop_min gh) with
+        | None, None -> true
+        | Some a, Some b -> a = b && drain ()
+        | _ -> false
+      in
+      drain ())
+
 let () =
   Alcotest.run "heap"
     [
@@ -112,10 +189,19 @@ let () =
           Alcotest.test_case "peek does not remove" `Quick peek_does_not_remove;
           Alcotest.test_case "empty pops" `Quick empty_pops;
           Alcotest.test_case "clear resets" `Quick clear_resets;
+          Alcotest.test_case "capacity pre-sizing" `Quick capacity_pre_sizing;
+        ] );
+      ( "int_heap",
+        [
+          Alcotest.test_case "pops in priority order" `Quick int_heap_pops_in_order;
+          Alcotest.test_case "fifo on ties" `Quick int_heap_fifo_on_ties;
+          Alcotest.test_case "top and drop" `Quick int_heap_top_and_drop;
+          Alcotest.test_case "clear reuses storage" `Quick int_heap_clear_reuses;
         ] );
       ( "properties",
         [
           qcheck_case qcheck_sorted_pops;
           qcheck_case qcheck_stable_ties;
+          qcheck_case qcheck_int_heap_matches_generic;
         ] );
     ]

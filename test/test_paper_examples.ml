@@ -104,6 +104,41 @@ let fig4_f_bounded_by_dthresh () =
   check_int "SHR(S,D) after F" 4 (Tree.shr t f.Fixtures.d);
   match Tree.validate t with Ok () -> () | Error e -> Alcotest.fail e
 
+let fig4_f_candidates_pinned () =
+  (* Pin the full candidate list F computes after E and G have joined: the
+     merge points the text enumerates (D, B and G), in ascending merge-id
+     order, with every field of the record.  Guards the optimised
+     candidate search against silent changes in order or content. *)
+  let f = Fixtures.fig4 () in
+  let g = f.Fixtures.graph in
+  let t = Tree.create g ~source:f.Fixtures.s in
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.e;
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.g;
+  let cands = Smrp.candidates t ~joiner:f.Fixtures.f in
+  check_list "merge points, ascending"
+    [ f.Fixtures.b; f.Fixtures.d; f.Fixtures.g ]
+    (List.map (fun c -> c.Smrp.merge) cands);
+  let pin name c ~merge ~other ~attach_delay ~total_delay ~shr =
+    check_int (name ^ " merge") merge c.Smrp.merge;
+    check_list (name ^ " attach nodes") [ merge; f.Fixtures.f ] c.Smrp.attach_nodes;
+    check_list (name ^ " attach edges") [ edge_id g merge other ] c.Smrp.attach_edges;
+    check_float (name ^ " attach delay") attach_delay c.Smrp.attach_delay;
+    check_float (name ^ " total delay") total_delay c.Smrp.total_delay;
+    check_int (name ^ " shr") shr c.Smrp.shr
+  in
+  (match cands with
+  | [ cb; cd; cg ] ->
+      (* B: one hop over L_BF; delay to S is 2.5; only G shares S-B. *)
+      pin "B" cb ~merge:f.Fixtures.b ~other:f.Fixtures.f ~attach_delay:1.5 ~total_delay:4.0
+        ~shr:1;
+      (* D: one hop over L_DF; SHR(S,D) = 2 after E joined. *)
+      pin "D" cd ~merge:f.Fixtures.d ~other:f.Fixtures.f ~attach_delay:1.0 ~total_delay:3.0
+        ~shr:2;
+      (* G: one hop over L_FG; G's own path G-B-S gives delay 4.5. *)
+      pin "G" cg ~merge:f.Fixtures.g ~other:f.Fixtures.f ~attach_delay:1.0 ~total_delay:5.5
+        ~shr:2
+  | _ -> Alcotest.fail "expected exactly three candidates")
+
 let fig4_f_would_take_b_with_larger_threshold () =
   (* Sanity check of the bound's role: with a permissive D_thresh, F prefers
      the less-shared merge point B (SHR 1 < 2). *)
@@ -166,6 +201,7 @@ let () =
           Alcotest.test_case "E joins by shortest path" `Quick fig4_e_joins_shortest;
           Alcotest.test_case "G avoids the shared subtree" `Quick fig4_g_avoids_sharing;
           Alcotest.test_case "F is bounded by D_thresh" `Quick fig4_f_bounded_by_dthresh;
+          Alcotest.test_case "F's candidate list pinned" `Quick fig4_f_candidates_pinned;
           Alcotest.test_case "larger D_thresh frees F" `Quick fig4_f_would_take_b_with_larger_threshold;
         ] );
       ( "figure5",

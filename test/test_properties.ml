@@ -13,6 +13,7 @@ module Reshape = Smrp_core.Reshape
 module Failure = Smrp_core.Failure
 module Recovery = Smrp_core.Recovery
 module Session = Smrp_core.Session
+module Scenario = Smrp_experiments.Scenario
 
 (* Property tests run with a pinned PRNG state so failures are
    reproducible run over run. *)
@@ -184,6 +185,69 @@ let filters_equal_rebuilt_graph =
           (List.init (Graph.node_count g) Fun.id)
       end)
 
+(* The workspace-backed CSR Dijkstra against the retained seed
+   implementation: identical distances, parents and paths (not just
+   reachability) under every filter combination, so each specialised search
+   loop is exercised.  The workspace is dirtied by a run from a different
+   source first, proving epoch-stamped clearing hides stale state. *)
+let workspace_dijkstra_equals_reference =
+  QCheck.Test.make ~name:"workspace Dijkstra equals the reference oracle under random filters"
+    ~count:120 QCheck.small_int (fun seed ->
+      let g, source, _ = scene seed in
+      let n = Graph.node_count g in
+      let rng = Rng.create (seed + 7) in
+      (* mode 0: no filters (fast path); 1: absorb only; 2: everything. *)
+      let mode = Rng.int rng 3 in
+      let blocked = Array.init n (fun v -> v <> source && Rng.int rng 10 = 0) in
+      let eblocked = Array.init (Graph.edge_count g) (fun _ -> Rng.int rng 10 = 0) in
+      let absorbed = Array.init n (fun _ -> Rng.int rng 6 = 0) in
+      let ws = Dijkstra.workspace () in
+      ignore (Dijkstra.run ~workspace:ws g ~source:(if source = 0 then n - 1 else 0));
+      let r, oracle =
+        match mode with
+        | 0 -> (Dijkstra.run ~workspace:ws g ~source, Dijkstra.run_reference g ~source)
+        | 1 ->
+            let absorb v = absorbed.(v) in
+            ( Dijkstra.run ~absorb ~workspace:ws g ~source,
+              Dijkstra.run_reference ~absorb g ~source )
+        | _ ->
+            let node_ok v = not blocked.(v)
+            and edge_ok e = not eblocked.(e)
+            and absorb v = absorbed.(v) in
+            ( Dijkstra.run ~node_ok ~edge_ok ~absorb ~workspace:ws g ~source,
+              Dijkstra.run_reference ~node_ok ~edge_ok ~absorb g ~source )
+      in
+      List.for_all
+        (fun v ->
+          Dijkstra.distance r v = Dijkstra.distance oracle v
+          && Dijkstra.parent r v = Dijkstra.parent oracle v
+          && Dijkstra.path_nodes r v = Dijkstra.path_nodes oracle v
+          && Dijkstra.path_edges r v = Dijkstra.path_edges oracle v)
+        (List.init n Fun.id))
+
+(* The domain-pool contract: fanning scenarios out over domains is
+   byte-identical to the sequential map, member by member and float by
+   float. *)
+let run_many_jobs_immaterial =
+  QCheck.Test.make ~name:"Scenario.run_many is identical whatever the job count" ~count:3
+    QCheck.small_int (fun seed ->
+      let configs =
+        List.init 4 (fun i ->
+            { Scenario.default with Scenario.n = 40; group_size = 8; seed = (73 * seed) + i })
+      in
+      let seq = Scenario.run_many ~jobs:1 configs in
+      let par = Scenario.run_many ~jobs:4 configs in
+      List.for_all2
+        (fun a b ->
+          a.Scenario.source = b.Scenario.source
+          && a.Scenario.members = b.Scenario.members
+          && a.Scenario.outcomes = b.Scenario.outcomes
+          && a.Scenario.average_degree = b.Scenario.average_degree
+          && a.Scenario.cost_spf = b.Scenario.cost_spf
+          && a.Scenario.cost_smrp = b.Scenario.cost_smrp
+          && Scenario.aggregates a = Scenario.aggregates b)
+        seq par)
+
 let () =
   Alcotest.run "properties"
     [
@@ -200,5 +264,10 @@ let () =
           qcheck_case session_repair_conserves_members;
           qcheck_case stabilize_idempotent;
           qcheck_case filters_equal_rebuilt_graph;
+        ] );
+      ( "performance_refactor",
+        [
+          qcheck_case workspace_dijkstra_equals_reference;
+          qcheck_case run_many_jobs_immaterial;
         ] );
     ]
