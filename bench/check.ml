@@ -1,0 +1,59 @@
+(* CLI wrapper of the bench regression gate (see Check_core): compares a
+   BENCH_RESULTS.json against a committed baseline and exits non-zero on
+   breach, printing the per-metric diff.  [--write-baseline] derives a
+   fresh committable baseline from a results file instead. *)
+
+module Bench_json = Bench_support.Bench_json
+module Check_core = Bench_support.Check_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load what path =
+  match Bench_json.parse (read_file path) with
+  | v -> v
+  | exception Sys_error msg ->
+      Printf.eprintf "error: cannot read %s file: %s\n%!" what msg;
+      exit 2
+  | exception Bench_json.Parse_error msg ->
+      Printf.eprintf "error: %s file %s: %s\n%!" what path msg;
+      exit 2
+
+let () =
+  let results = ref "BENCH_RESULTS.json" in
+  let baseline = ref "bench/BASELINE.json" in
+  let quick = ref false in
+  let write_baseline = ref "" in
+  let spec =
+    [
+      ("--results", Arg.Set_string results, "FILE results file (default BENCH_RESULTS.json)");
+      ("--baseline", Arg.Set_string baseline, "FILE baseline file (default bench/BASELINE.json)");
+      ( "--quick",
+        Arg.Set quick,
+        " scale micro tolerances by the baseline's quick_factor (noisy CI runners)" );
+      ( "--write-baseline",
+        Arg.Set_string write_baseline,
+        "FILE derive a baseline from --results and write it to FILE, then exit" );
+    ]
+  in
+  let usage = "check [--results FILE] [--baseline FILE] [--quick] [--write-baseline FILE]" in
+  Arg.parse spec (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a))) usage;
+  if !write_baseline <> "" then begin
+    let b = Check_core.baseline_of_results (load "results" !results) in
+    let oc = open_out !write_baseline in
+    output_string oc (Bench_json.to_string b);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" !write_baseline
+  end
+  else begin
+    let report =
+      Check_core.check ~quick:!quick ~baseline:(load "baseline" !baseline)
+        ~results:(load "results" !results) ()
+    in
+    print_string (Check_core.render ~quick:!quick report);
+    exit (if Check_core.passed report then 0 else 1)
+  end

@@ -9,7 +9,16 @@
    Each figure is rendered twice — sequentially (jobs=1) and on the default
    domain pool — and the harness asserts the two renderings are
    byte-identical before printing, then writes both wall-clock timings and
-   the micro-benchmark estimates to BENCH_RESULTS.json. *)
+   the micro-benchmark estimates to BENCH_RESULTS.json (schema version 2).
+
+   A fixed-scale deterministic workload section (a small seeded Fig. 9
+   sweep, independent of SMRP_BENCH_SCENARIOS) anchors the regression gate:
+   its rendering digest and merged metrics totals are exact across machines,
+   so bench/check.ml compares them against bench/BASELINE.json with zero
+   tolerance, while the machine-dependent micro numbers get relative
+   tolerances.  The harness also appends one line per run to
+   BENCH_HISTORY.jsonl and writes the workload's stitched multi-domain
+   Chrome trace to BENCH_TRACE.jsonl. *)
 
 module Figures = Smrp_experiments.Figures
 module Latency = Smrp_experiments.Latency
@@ -26,6 +35,10 @@ module Smrp = Smrp_core.Smrp
 module Reshape = Smrp_core.Reshape
 module Failure = Smrp_core.Failure
 module Recovery = Smrp_core.Recovery
+module Metrics = Smrp_obs.Metrics
+module Trace = Smrp_obs.Trace
+module Profile = Smrp_obs.Profile
+module J = Bench_support.Bench_json
 
 let scenarios =
   match Sys.getenv_opt "SMRP_BENCH_SCENARIOS" with
@@ -71,6 +84,76 @@ let figures () =
   timed_figure "fig9" (fun ~jobs -> Figures.Fig9.render (Figures.Fig9.run ?jobs ~scenarios ()));
   section "Figure 10 (effect of group size, 4.3.4)";
   timed_figure "fig10" (fun ~jobs -> Figures.Fig10.render (Figures.Fig10.run ?jobs ~scenarios ()))
+
+(* -- Regression-gate workload ------------------------------------------ *)
+
+(* A fixed-scale seeded Fig. 9 sweep (4 alpha values x 4 scenarios, 480
+   member measurements), independent of SMRP_BENCH_SCENARIOS: small enough
+   for CI, deterministic enough that its rendering digest and merged
+   metrics totals are exact across machines (the default [`Unit] link
+   metric makes every observed value an integer, so even the histogram sum
+   is schedule-independent).  The parallel leg runs with the whole
+   instrumentation stack live — sharded metrics, sharded trace rings,
+   pool/GC profiling — and must agree with the uninstrumented sequential
+   leg exactly; this is the property the regression gate pins. *)
+
+type workload_result = {
+  digest : string;
+  wl_metrics : (string * float) list;
+  seq_par_identical : bool;
+}
+
+let workload () =
+  section "Regression-gate workload (fixed scale, deterministic)";
+  let run ?jobs ~metrics ?profile ?trace () =
+    Pool.with_instrumentation ?profile ?trace (fun () ->
+        Figures.Fig9.render
+          (Figures.Fig9.run ?jobs ~metrics ~seed:9
+             ~values:[ 0.15; 0.2; 0.25; 0.3 ]
+             ~scenarios:4 ~degree_ten_row:false ()))
+  in
+  let m_seq = Metrics.create () in
+  let seq = run ~jobs:1 ~metrics:m_seq () in
+  let m_par = Metrics.create () in
+  let profile = Profile.create () in
+  let sink = Trace.sharded_ring ~capacity:65536 in
+  (* Four explicit domains, not the pool default: the gate must exercise
+     multi-domain merge and stitching even on single-core runners. *)
+  let par = run ~jobs:4 ~metrics:m_par ~profile ~trace:(Trace.create sink) () in
+  let renders_equal = String.equal seq par in
+  let snapshots_equal = Metrics.snapshot m_seq = Metrics.snapshot m_par in
+  if not (renders_equal && snapshots_equal) then begin
+    Printf.eprintf
+      "FATAL: workload: parallel run differs from sequential (renderings equal: %b, merged \
+       snapshots equal: %b)\n\
+       %!"
+      renders_equal snapshots_equal;
+    exit 1
+  end;
+  print_string par;
+  Printf.printf "merged metrics (%d shard(s)):\n%s\n" (Metrics.shard_count m_par)
+    (Metrics.render m_par);
+  Printf.printf "pool/GC profile:\n%s\n" (Profile.render profile);
+  let events = Trace.stitched_contents sink in
+  let oc = open_out "BENCH_TRACE.jsonl" in
+  List.iter
+    (fun e ->
+      output_string oc (Trace.to_json e);
+      output_char oc '\n')
+    events;
+  close_out oc;
+  Printf.printf "wrote BENCH_TRACE.jsonl (%d stitched events)\n" (List.length events);
+  let wl_metrics =
+    List.concat_map
+      (fun (name, v) ->
+        match v with
+        | Metrics.Counter_value n -> [ (name, float_of_int n) ]
+        | Metrics.Histogram_value { count; sum; _ } ->
+            [ (name ^ ".count", float_of_int count); (name ^ ".sum", sum) ]
+        | Metrics.Gauge_value _ -> [])
+      (Metrics.snapshot m_par)
+  in
+  { digest = Digest.to_hex (Digest.string par); wl_metrics; seq_par_identical = true }
 
 let traced_latency () =
   (* The same restoration-latency scenario with the observability layer
@@ -195,55 +278,63 @@ let micro () =
     rows;
   rows
 
-(* -- BENCH_RESULTS.json ------------------------------------------------ *)
+(* -- BENCH_RESULTS.json / BENCH_HISTORY.jsonl -------------------------- *)
 
-(* Minimal JSON writer: everything we emit is an object of numbers or of
-   nested objects, plus one string field. *)
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let obj_of_rows rows = J.Obj (List.map (fun (n, v) -> (n, J.Num v)) rows)
 
-let write_results ~micro_rows =
+let write_results ~workload:w ~micro_rows =
+  let results =
+    J.Obj
+      [
+        ("schema_version", J.Num (float_of_int Bench_support.Check_core.schema_version));
+        ("harness", J.Str "smrp-bench");
+        ("scenarios_per_point", J.Num (float_of_int scenarios));
+        ("default_jobs", J.Num (float_of_int (Pool.default_jobs ())));
+        ( "workload",
+          J.Obj
+            [
+              ("fig9_digest", J.Str w.digest);
+              ("seq_par_identical", J.Bool w.seq_par_identical);
+              ("fig9_metrics", obj_of_rows w.wl_metrics);
+            ] );
+        ("micro_ns_per_run", obj_of_rows micro_rows);
+        ( "figures_wall_clock_s",
+          J.Obj
+            (List.map
+               (fun (name, seq_s, par_s) ->
+                 (name, J.Obj [ ("sequential", J.Num seq_s); ("parallel", J.Num par_s) ]))
+               (List.rev !figure_timings)) );
+      ]
+  in
   let path = "BENCH_RESULTS.json" in
   let oc = open_out path in
-  let out fmt = Printf.fprintf oc fmt in
-  out "{\n";
-  out "  \"harness\": \"%s\",\n" (json_escape "smrp-bench");
-  out "  \"scenarios_per_point\": %d,\n" scenarios;
-  out "  \"default_jobs\": %d,\n" (Pool.default_jobs ());
-  out "  \"micro_ns_per_run\": {\n";
-  let n = List.length micro_rows in
-  List.iteri
-    (fun i (name, ns) ->
-      out "    \"%s\": %.1f%s\n" (json_escape name) ns (if i = n - 1 then "" else ","))
-    micro_rows;
-  out "  },\n";
-  out "  \"figures_wall_clock_s\": {\n";
-  let timings = List.rev !figure_timings in
-  let n = List.length timings in
-  List.iteri
-    (fun i (name, seq_s, par_s) ->
-      out "    \"%s\": { \"sequential\": %.3f, \"parallel\": %.3f }%s\n" (json_escape name)
-        seq_s par_s
-        (if i = n - 1 then "" else ","))
-    timings;
-  out "  }\n";
-  out "}\n";
+  output_string oc (J.to_string results);
+  output_char oc '\n';
   close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  Printf.printf "\nwrote %s\n" path;
+  (* One minified line per harness run, for longitudinal tracking across
+     commits (the file is append-only and not part of the gate). *)
+  let history =
+    J.Obj
+      [
+        ("ts", J.Num (Unix.gettimeofday ()));
+        ("schema_version", J.Num (float_of_int Bench_support.Check_core.schema_version));
+        ("fig9_digest", J.Str w.digest);
+        ("micro_ns_per_run", obj_of_rows micro_rows);
+      ]
+  in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 "BENCH_HISTORY.jsonl" in
+  output_string oc (J.to_string ~minify:true history);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "appended BENCH_HISTORY.jsonl\n"
 
 let () =
   Printf.printf "SMRP reproduction benchmark harness (scenarios per point: %d; default jobs: %d)\n"
     scenarios (Pool.default_jobs ());
   figures ();
   extensions ();
+  let w = workload () in
   let micro_rows = micro () in
-  write_results ~micro_rows;
+  write_results ~workload:w ~micro_rows;
   print_newline ()

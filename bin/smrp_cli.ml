@@ -170,6 +170,70 @@ let latency_cmd =
     (Cmd.info "latency" ~doc:"Packet-level restoration latency, SMRP vs PIM/OSPF.")
     Term.(const run $ seed_arg 25 $ runs $ trace $ metrics)
 
+let profile_cmd =
+  let module Metrics = Smrp_obs.Metrics in
+  let module Trace = Smrp_obs.Trace in
+  let module Profile = Smrp_obs.Profile in
+  let module Pool = Smrp_experiments.Pool in
+  let run seed scenarios jobs trace_file =
+    let prof = Profile.create () in
+    let metrics = Metrics.create () in
+    let sink = Trace.sharded_ring ~capacity:262144 in
+    let tracer = Trace.create sink in
+    let rows =
+      Profile.phase prof "fig9.sweep" (fun () ->
+          Pool.with_instrumentation ~profile:prof ~trace:tracer (fun () ->
+              Figures.Fig9.run ?jobs ~metrics ~seed ~scenarios ~degree_ten_row:false ()))
+    in
+    let rendered = Profile.phase prof "fig9.render" (fun () -> Figures.Fig9.render rows) in
+    print_string rendered;
+    Printf.printf "\n-- metrics (merged across %d shard(s)) --\n%s"
+      (Metrics.shard_count metrics) (Metrics.render metrics);
+    Printf.printf "\n-- phases and pool workers --\n%s" (Profile.render prof);
+    match trace_file with
+    | None -> ()
+    | Some file ->
+        let oc =
+          try open_out file
+          with Sys_error msg ->
+            Printf.eprintf "profile: cannot open trace file: %s\n%!" msg;
+            exit 1
+        in
+        let events = Trace.stitched_contents sink in
+        List.iter
+          (fun e ->
+            output_string oc (Trace.to_json e);
+            output_char oc '\n')
+          events;
+        close_out oc;
+        Printf.printf
+          "\ntrace written to %s (%d events, Chrome trace_event JSONL; tids are domain ids; \
+           load in Perfetto or chrome://tracing)\n"
+          file (List.length events)
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: SMRP_BENCH_JOBS or the recommended domain count).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's stitched multi-domain trace (pool task/worker spans) to $(docv) \
+             as Chrome trace_event JSONL.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a Fig. 9 sweep: merged sharded metrics, per-domain pool utilisation, per-phase \
+          GC deltas, and optionally the stitched multi-domain trace.")
+    Term.(const run $ seed_arg 9 $ scenarios_arg $ jobs $ trace)
+
 let ablations_cmd =
   let run seed scenarios =
     print_string (Ablation.Reshaping.render (Ablation.Reshaping.run ~seed ~scenarios ()));
@@ -224,6 +288,7 @@ let () =
             all_cmd;
             scenario_cmd;
             latency_cmd;
+            profile_cmd;
             ablations_cmd;
             related_cmd;
             dot_cmd;

@@ -12,7 +12,7 @@ let scenario_seeds ~seed ~count =
 (* All data points of a figure fan out through one flat Pool.map — a slow
    config does not serialize behind a fast one — and are regrouped per
    config afterwards, preserving the sequential order exactly. *)
-let sweep ?jobs ~seed ~scenarios ~configs () =
+let sweep ?jobs ?metrics ~seed ~scenarios ~configs () =
   let per_config =
     List.map
       (fun make_config ->
@@ -20,7 +20,7 @@ let sweep ?jobs ~seed ~scenarios ~configs () =
         List.map make_config seeds)
       configs
   in
-  let results = ref (Scenario.run_many ?jobs (List.concat per_config)) in
+  let results = ref (Scenario.run_many ?jobs ?metrics (List.concat per_config)) in
   List.map
     (fun cfgs ->
       let k = List.length cfgs in
@@ -65,10 +65,10 @@ module Fig7 = struct
     on_diagonal_fraction : float;
   }
 
-  let run ?jobs ?(seed = 7) ?(topologies = 5) () =
+  let run ?jobs ?metrics ?(seed = 7) ?(topologies = 5) () =
     let seeds = scenario_seeds ~seed ~count:topologies in
     let scenarios =
-      Scenario.run_many ?jobs
+      Scenario.run_many ?jobs ?metrics
         (List.map (fun s -> { Scenario.default with seed = s; link_delay = `Euclidean }) seeds)
     in
     let points =
@@ -128,7 +128,7 @@ module Fig8 = struct
     cost : Stats.summary;
   }
 
-  let run ?jobs ?(seed = 8) ?(values = [ 0.1; 0.2; 0.3; 0.4 ]) ?(scenarios = 100) () =
+  let run ?jobs ?metrics ?(seed = 8) ?(values = [ 0.1; 0.2; 0.3; 0.4 ]) ?(scenarios = 100) () =
     let configs =
       List.map (fun dt s -> { Scenario.default with d_thresh = dt; seed = s }) values
     in
@@ -137,7 +137,7 @@ module Fig8 = struct
         let s = summaries runs in
         { d_thresh = dt; rd = s.rd; rd_tree = s.rd_tree; delay = s.delay; cost = s.cost })
       values
-      (sweep ?jobs ~seed ~scenarios ~configs ())
+      (sweep ?jobs ?metrics ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =
@@ -181,7 +181,7 @@ module Fig9 = struct
     cost : Stats.summary;
   }
 
-  let run ?jobs ?(seed = 9) ?(values = [ 0.15; 0.2; 0.25; 0.3 ]) ?(scenarios = 100)
+  let run ?jobs ?metrics ?(seed = 9) ?(values = [ 0.15; 0.2; 0.25; 0.3 ]) ?(scenarios = 100)
       ?(degree_ten_row = true) () =
     let values =
       if degree_ten_row then begin
@@ -200,7 +200,7 @@ module Fig9 = struct
         let s = summaries runs in
         { alpha = a; average_degree = s.degree.Stats.mean; rd = s.rd; delay = s.delay; cost = s.cost })
       values
-      (sweep ?jobs ~seed ~scenarios ~configs ())
+      (sweep ?jobs ?metrics ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =
@@ -249,14 +249,14 @@ module Fig10 = struct
     cost : Stats.summary;
   }
 
-  let run ?jobs ?(seed = 10) ?(values = [ 20; 30; 40; 50 ]) ?(scenarios = 100) () =
+  let run ?jobs ?metrics ?(seed = 10) ?(values = [ 20; 30; 40; 50 ]) ?(scenarios = 100) () =
     let configs = List.map (fun ng s -> { Scenario.default with group_size = ng; seed = s }) values in
     List.map2
       (fun ng runs ->
         let s = summaries runs in
         { group_size = ng; rd = s.rd; delay = s.delay; cost = s.cost })
       values
-      (sweep ?jobs ~seed ~scenarios ~configs ())
+      (sweep ?jobs ?metrics ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =

@@ -2,6 +2,9 @@
     its [seed]; scenario counts default to the paper's but scale down for
     quick runs.  Scenario fan-outs run domain-parallel through {!Pool}
     ([jobs] to override; results are byte-identical whatever the count).
+    Every [run] accepts [?metrics]: a {!Smrp_obs.Metrics.t} registry that
+    each scenario records into (see {!Scenario.run}) — shared across the
+    parallel fan-out, it merges to exactly the sequential totals.
 
     Sampling note: the paper reuses each random topology for several member
     sets (e.g. 10 × 10 in Fig. 8); we draw an independent topology per
@@ -19,7 +22,8 @@ module Fig7 : sig
     on_diagonal_fraction : float;  (** Equal-length detours (ties). *)
   }
 
-  val run : ?jobs:int -> ?seed:int -> ?topologies:int -> unit -> result
+  val run :
+    ?jobs:int -> ?metrics:Smrp_obs.Metrics.t -> ?seed:int -> ?topologies:int -> unit -> result
   (** Default: 5 topologies of the reference configuration, with Euclidean
       link delays (the scatter is over a continuous recovery-distance
       scale, as in the paper's plot).  [jobs] caps the domain fan-out
@@ -44,7 +48,14 @@ module Fig8 : sig
     cost : Smrp_metrics.Stats.summary;
   }
 
-  val run : ?jobs:int -> ?seed:int -> ?values:float list -> ?scenarios:int -> unit -> row list
+  val run :
+    ?jobs:int ->
+    ?metrics:Smrp_obs.Metrics.t ->
+    ?seed:int ->
+    ?values:float list ->
+    ?scenarios:int ->
+    unit ->
+    row list
   (** Defaults: D_thresh ∈ {0.1, 0.2, 0.3, 0.4}, 100 scenarios each. *)
 
   val render : row list -> string
@@ -67,6 +78,7 @@ module Fig9 : sig
 
   val run :
     ?jobs:int ->
+    ?metrics:Smrp_obs.Metrics.t ->
     ?seed:int ->
     ?values:float list ->
     ?scenarios:int ->
@@ -93,7 +105,14 @@ module Fig10 : sig
     cost : Smrp_metrics.Stats.summary;
   }
 
-  val run : ?jobs:int -> ?seed:int -> ?values:int list -> ?scenarios:int -> unit -> row list
+  val run :
+    ?jobs:int ->
+    ?metrics:Smrp_obs.Metrics.t ->
+    ?seed:int ->
+    ?values:int list ->
+    ?scenarios:int ->
+    unit ->
+    row list
   (** Defaults: N_G ∈ {20, 30, 40, 50}, 100 scenarios each. *)
 
   val render : row list -> string

@@ -9,7 +9,18 @@
    the experiment tables rely on.
 
    Workers share nothing: each scenario builds its own graph, trees, RNG and
-   Dijkstra workspace inside the worker that claimed it. *)
+   Dijkstra workspace inside the worker that claimed it.
+
+   Observability: an optional [Smrp_obs.Profile.t] records one utilisation
+   entry per worker domain (tasks claimed, busy vs. idle wall time), and an
+   optional [Smrp_obs.Trace.t] — over a {!Smrp_obs.Trace.sharded_ring} sink
+   when parallel — gets one "pool.task" complete span per claimed task plus
+   one "pool.worker" span per worker, tids being domain ids.  Neither hook
+   affects results; with both absent the per-task cost is two [None]
+   checks. *)
+
+module Profile = Smrp_obs.Profile
+module Trace = Smrp_obs.Trace
 
 let default_jobs () =
   match Sys.getenv_opt "SMRP_BENCH_JOBS" with
@@ -22,27 +33,78 @@ let default_jobs () =
           Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-let map ?jobs f xs =
+(* Ambient instrumentation, consulted when [map] is not given explicit
+   hooks.  Installed and read by the orchestrating domain only (the ref
+   holds an immutable pair, so a racy read from a nested call would still
+   be memory-safe — it is simply unsupported). *)
+let ambient : (Profile.t option * Trace.t option) ref = ref (None, None)
+
+let with_instrumentation ?profile ?trace f =
+  let old = !ambient in
+  ambient := (profile, trace);
+  Fun.protect ~finally:(fun () -> ambient := old) f
+
+(* Worker domains may consult this too: the install happens before
+   [Domain.spawn] and the restore after the joins, so the spawn edge makes
+   the installed value visible to every worker. *)
+let ambient_trace () = snd !ambient
+
+let task_span trace i f =
+  match trace with
+  | Some tr when Trace.enabled tr ->
+      let t0 = Trace.wall_clock () in
+      let v = f () in
+      Trace.complete tr ~ts:t0
+        ~dur:(Trace.wall_clock () -. t0)
+        ~cat:"pool"
+        ~tid:(Domain.self () :> int)
+        ~args:[ ("index", Trace.Int i) ]
+        "pool.task";
+      v
+  | _ -> f ()
+
+let map ?jobs ?profile ?trace f xs =
+  let profile, trace =
+    let amb_p, amb_t = !ambient in
+    ( (match profile with Some _ -> profile | None -> amb_p),
+      match trace with Some _ -> trace | None -> amb_t )
+  in
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
-  let jobs = min jobs n in
-  if jobs <= 1 then List.map f xs
+  let jobs = max 1 (min jobs n) in
+  let instrumented = profile <> None || (match trace with Some tr -> Trace.enabled tr | None -> false) in
+  if jobs <= 1 && not instrumented then List.map f xs
   else begin
     let results = Array.make n None in
     let error = Atomic.make None in
     let next = Atomic.make 0 in
     let worker () =
+      let wh = Option.map Profile.worker_start profile in
+      let w0 = match trace with Some tr when Trace.enabled tr -> Trace.wall_clock () | _ -> 0.0 in
+      let run_task i =
+        let body () = task_span trace i (fun () -> f tasks.(i)) in
+        match wh with Some h -> Profile.worker_task h body | None -> body ()
+      in
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get error = None then begin
-          (match f tasks.(i) with
+          (match run_task i with
           | v -> results.(i) <- Some v
           | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
           loop ()
         end
       in
-      loop ()
+      loop ();
+      (match trace with
+      | Some tr when Trace.enabled tr ->
+          Trace.complete tr ~ts:w0
+            ~dur:(Trace.wall_clock () -. w0)
+            ~cat:"pool"
+            ~tid:(Domain.self () :> int)
+            "pool.worker"
+      | _ -> ());
+      Option.iter Profile.worker_stop wh
     in
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
@@ -51,4 +113,5 @@ let map ?jobs f xs =
     Array.to_list (Array.map (function Some v -> v | None -> assert false) results)
   end
 
-let mapi ?jobs f xs = map ?jobs (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)
+let mapi ?jobs ?profile ?trace f xs =
+  map ?jobs ?profile ?trace (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) xs)

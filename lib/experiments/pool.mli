@@ -8,17 +8,56 @@
     result is byte-identical whatever the job count or scheduling.
 
     [f] must not share mutable state across calls: each invocation runs in
-    whichever worker domain claimed it. *)
+    whichever worker domain claimed it.  State [f] records into a shared
+    {!Smrp_obs.Metrics.t} registry is fine — the registry shards per domain
+    and merges at snapshot.
+
+    {b Observability}: [map] optionally records per-worker utilisation into
+    a {!Smrp_obs.Profile.t} (tasks claimed, busy vs. idle wall time, one
+    record per worker domain) and emits wall-clock task/worker spans to a
+    {!Smrp_obs.Trace.t} — pair the tracer with a
+    {!Smrp_obs.Trace.sharded_ring} sink so concurrent emission is safe;
+    tids are domain ids.  Neither hook affects results. *)
 
 val default_jobs : unit -> int
 (** [SMRP_BENCH_JOBS] if set to a positive integer, otherwise
     [Domain.recommended_domain_count ()]. *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val with_instrumentation :
+  ?profile:Smrp_obs.Profile.t -> ?trace:Smrp_obs.Trace.t -> (unit -> 'a) -> 'a
+(** Installs ambient defaults for {!map}'s [?profile]/[?trace] for the
+    duration of the callback, so instrumentation reaches [Pool.map] calls
+    buried inside figure runners without threading parameters through.
+    Install and run from the orchestrating domain only; nesting restores
+    the previous defaults on exit. *)
+
+val ambient_trace : unit -> Smrp_obs.Trace.t option
+(** The tracer installed by the innermost enclosing
+    {!with_instrumentation}, if any.  Safe to call from a {!map} worker
+    domain (the install happens before the workers spawn): task bodies that
+    want to emit their own spans — e.g. [Scenario.run] installing the
+    tracer on its Dijkstra workspace — read the hook here instead of
+    requiring an extra parameter. *)
+
+val map :
+  ?jobs:int ->
+  ?profile:Smrp_obs.Profile.t ->
+  ?trace:Smrp_obs.Trace.t ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 (** [map ?jobs f xs] is [List.map f xs] computed on [min jobs (length xs)]
     domains (the calling domain included).  [jobs] defaults to
     {!default_jobs}; [jobs <= 1] runs sequentially in the calling domain
-    with no domain spawned.  The first exception raised by [f] stops the
-    fan-out and is re-raised after all workers join. *)
+    with no domain spawned (still recording one worker entry when
+    instrumented).  The first exception raised by [f] stops the fan-out and
+    is re-raised after all workers join.  [profile]/[trace] default to the
+    ambient hooks of {!with_instrumentation}. *)
 
-val mapi : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val mapi :
+  ?jobs:int ->
+  ?profile:Smrp_obs.Profile.t ->
+  ?trace:Smrp_obs.Trace.t ->
+  (int -> 'a -> 'b) ->
+  'a list ->
+  'b list

@@ -8,6 +8,7 @@ module Smrp = Smrp_core.Smrp
 module Failure = Smrp_core.Failure
 module Recovery = Smrp_core.Recovery
 module Stats = Smrp_metrics.Stats
+module Metrics = Smrp_obs.Metrics
 
 type config = {
   n : int;
@@ -100,7 +101,28 @@ let pick_group rng ~n ~group_size =
   Rng.shuffle rng chosen;
   (chosen.(0), Array.to_list (Array.sub chosen 1 group_size))
 
-let run config =
+(* Per-scenario instrumentation.  Instruments resolve through the registry
+   lock once per scenario (not per event), then mutate the calling domain's
+   shard; a registry shared across a [Pool.map] fan-out therefore merges to
+   the same totals as a sequential run.  All counted quantities are
+   integers, and the recovery-distance histogram sums hop counts, so under
+   the default [`Unit] link metric even its float [sum] is exact. *)
+let record_metrics m t =
+  Metrics.Counter.incr (Metrics.counter m "scenario.runs");
+  Metrics.Counter.add (Metrics.counter m "scenario.members") (List.length t.members);
+  let recovered = Metrics.counter m "scenario.recovered"
+  and isolated = Metrics.counter m "scenario.isolated"
+  and rd_hist = Metrics.histogram m ~base:2.0 ~lowest:1.0 ~count:8 "scenario.rd_local_smrp" in
+  List.iter
+    (fun o ->
+      match o.rd_local_smrp with
+      | Some rd ->
+          Metrics.Counter.incr recovered;
+          Metrics.Histogram.observe rd_hist rd
+      | None -> Metrics.Counter.incr isolated)
+    t.outcomes
+
+let run ?metrics config =
   if config.group_size + 1 > config.n then invalid_arg "Scenario.run: group larger than network";
   let rng = Rng.create config.seed in
   let topo_rng = Rng.split rng in
@@ -111,21 +133,36 @@ let run config =
   in
   let graph = topo.Waxman.graph in
   let source, members = pick_group member_rng ~n:config.n ~group_size:config.group_size in
-  let spf_tree, smrp_tree, outcomes = evaluate graph ~source ~members ~d_thresh:config.d_thresh in
-  {
-    config;
-    graph;
-    source;
-    members;
-    spf_tree;
-    smrp_tree;
-    average_degree = Graph.average_degree graph;
-    cost_spf = Tree.total_cost spf_tree;
-    cost_smrp = Tree.total_cost smrp_tree;
-    outcomes;
-  }
+  (* When run under [Pool.with_instrumentation ~trace], the scenario's
+     Dijkstra workspace carries the tracer so every search inside it (tree
+     builds, candidate searches, recovery detours) lands in the same
+     stitched stream as the pool spans.  Untraced runs keep the bare
+     workspace: [set_trace] is never called, the hot path stays a branch. *)
+  let ws = Dijkstra.workspace ~capacity:(Graph.node_count graph) () in
+  (match Pool.ambient_trace () with
+  | Some tr when Smrp_obs.Trace.enabled tr -> Dijkstra.set_trace ws tr
+  | _ -> ());
+  let spf_tree, smrp_tree, outcomes =
+    evaluate ~ws graph ~source ~members ~d_thresh:config.d_thresh
+  in
+  let t =
+    {
+      config;
+      graph;
+      source;
+      members;
+      spf_tree;
+      smrp_tree;
+      average_degree = Graph.average_degree graph;
+      cost_spf = Tree.total_cost spf_tree;
+      cost_smrp = Tree.total_cost smrp_tree;
+      outcomes;
+    }
+  in
+  Option.iter (fun m -> record_metrics m t) metrics;
+  t
 
-let run_many ?jobs configs = Pool.map ?jobs run configs
+let run_many ?jobs ?metrics configs = Pool.map ?jobs (run ?metrics) configs
 
 type aggregates = {
   rd_relative : float;

@@ -46,13 +46,22 @@ type t = {
   outcomes : member_outcome list;
 }
 
-val run : config -> t
+val run : ?metrics:Smrp_obs.Metrics.t -> config -> t
 (** Deterministic in [config] (including [seed]): safe to fan out across
-    domains with {!Pool.map}. *)
+    domains with {!Pool.map}.  With [?metrics], the run records into the
+    registry: counters [scenario.runs], [scenario.members],
+    [scenario.recovered] / [scenario.isolated] (members with / without a
+    defined worst-case local-SMRP recovery), and a base-2 histogram
+    [scenario.rd_local_smrp] of the recovery distances.  All counted
+    quantities are integers (and under the default [`Unit] link metric the
+    histogram sums hop counts), so a registry shared across a parallel
+    fan-out merges to exactly the sequential totals. *)
 
-val run_many : ?jobs:int -> config list -> t list
+val run_many : ?jobs:int -> ?metrics:Smrp_obs.Metrics.t -> config list -> t list
 (** [run_many configs] is [List.map run configs] fanned out over
-    {!Pool.map}; byte-identical to the sequential map whatever [jobs]. *)
+    {!Pool.map}; byte-identical to the sequential map whatever [jobs].
+    [metrics] reaches every run — each worker domain records into its own
+    shard of the registry. *)
 
 val evaluate :
   ?ws:Smrp_graph.Dijkstra.workspace ->

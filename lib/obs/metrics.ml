@@ -1,3 +1,30 @@
+(* Domain-sharded metrics registry.
+
+   Each domain that touches a registry gets a private shard (a name ->
+   instrument table of its own); instrument mutation is therefore a plain
+   unsynchronized field update — the hot path an instrumented simulator pays
+   per event is one increment, exactly as in the single-domain design.  The
+   registry mutex guards only the rare operations: shard creation,
+   instrument registration, and the merge performed by [snapshot] /
+   [merge_into].
+
+   Merge semantics (applied shard-by-shard in increasing domain-id order):
+   - counters add;
+   - gauges keep the value with the greatest user-supplied timestamp
+     (ties broken towards the larger value), and the max of the maxima;
+   - histograms require identical bucket bounds and add bucket-wise
+     (count and sum add too).
+
+   Exactness: counter and bucket totals are integers, so parallel and
+   sequential runs of the same work merge to identical snapshots whatever
+   the scheduling.  Histogram [sum] is a float accumulation — it is exact
+   (hence schedule-independent) when the observed values are integers
+   (e.g. hop counts), and subject to the usual non-associativity of float
+   addition otherwise.  Snapshots taken while other domains are still
+   mutating instruments are safe (word-sized reads cannot tear) but only
+   quiescent snapshots — e.g. after [Pool.map] has joined its workers — are
+   guaranteed exact. *)
+
 module Counter = struct
   type t = { mutable n : int }
 
@@ -11,13 +38,21 @@ module Counter = struct
 end
 
 module Gauge = struct
-  type t = { mutable last : float; mutable max : float }
+  type t = { mutable last : float; mutable last_ts : float; mutable max : float }
 
-  let set g v =
+  (* Within a shard, program order wins: [set] overwrites [last]
+     unconditionally.  [ts] (default [neg_infinity]) only matters when
+     shards are merged: the shard with the greatest timestamp supplies the
+     merged [last].  Stamp sets with a monotone clock (e.g. the simulation
+     clock) to make cross-domain "last" well-defined. *)
+  let set g ?(ts = neg_infinity) v =
     g.last <- v;
+    g.last_ts <- ts;
     if v > g.max then g.max <- v
 
   let value g = g.last
+
+  let last_ts g = g.last_ts
 
   let max_value g = g.max
 end
@@ -65,57 +100,198 @@ end
 
 type instrument = C of Counter.t | G of Gauge.t | H of Histogram.t
 
-type t = { tbl : (string, instrument) Hashtbl.t }
+type shard = { domain : int; tbl : (string, instrument) Hashtbl.t }
 
-let create () = { tbl = Hashtbl.create 16 }
+type t = { lock : Mutex.t; mutable shards : shard list (* unordered *) }
+
+let create () = { lock = Mutex.create (); shards = [] }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* The calling domain's shard, created on first touch.  Must be called with
+   the lock held. *)
+let shard_locked t =
+  let id = (Domain.self () :> int) in
+  match List.find_opt (fun s -> s.domain = id) t.shards with
+  | Some s -> s
+  | None ->
+      let s = { domain = id; tbl = Hashtbl.create 16 } in
+      t.shards <- s :: t.shards;
+      s
+
+let shard_count t = with_lock t (fun () -> List.length t.shards)
 
 let kind = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
-let register t name inst wanted =
-  match Hashtbl.find_opt t.tbl name with
-  | Some existing ->
-      if kind existing <> wanted then
-        invalid_arg
-          (Printf.sprintf "Metrics: %S already registered as a %s" name (kind existing));
-      existing
-  | None ->
-      Hashtbl.add t.tbl name inst;
-      inst
+let register t name make wanted =
+  with_lock t (fun () ->
+      let shard = shard_locked t in
+      match Hashtbl.find_opt shard.tbl name with
+      | Some existing ->
+          if kind existing <> wanted then
+            invalid_arg
+              (Printf.sprintf "Metrics: %S already registered as a %s" name (kind existing));
+          existing
+      | None ->
+          let inst = make () in
+          Hashtbl.add shard.tbl name inst;
+          inst)
 
 let counter t name =
-  match register t name (C { Counter.n = 0 }) "counter" with
+  match register t name (fun () -> C { Counter.n = 0 }) "counter" with
   | C c -> c
   | _ -> assert false
 
 let gauge t name =
-  match register t name (G { Gauge.last = 0.0; max = neg_infinity }) "gauge" with
+  match
+    register t name
+      (fun () -> G { Gauge.last = 0.0; last_ts = neg_infinity; max = neg_infinity })
+      "gauge"
+  with
   | G g -> g
   | _ -> assert false
 
 let histogram t ?(base = 10.0) ?(lowest = 1e-3) ?(count = 8) name =
-  match register t name (H (Histogram.make ~base ~lowest ~n:count)) "histogram" with
+  match register t name (fun () -> H (Histogram.make ~base ~lowest ~n:count)) "histogram" with
   | H h -> h
   | _ -> assert false
+
+(* -- Merge -------------------------------------------------------------- *)
+
+(* A merged instrument: a value-level copy of one shard's instrument that
+   later shards fold into.  Gauges keep their merge timestamp here (the
+   public [value] type below does not expose it). *)
+type minst =
+  | MC of int
+  | MG of { last : float; last_ts : float; max : float }
+  | MH of { bounds : float array; counts : int array; count : int; sum : float }
+
+let minst_of_instrument = function
+  | C c -> MC c.Counter.n
+  | G g -> MG { last = g.Gauge.last; last_ts = g.Gauge.last_ts; max = g.Gauge.max }
+  | H h ->
+      MH
+        {
+          bounds = Array.copy h.Histogram.bounds;
+          counts = Array.copy h.Histogram.counts;
+          count = h.Histogram.count;
+          sum = h.Histogram.sum;
+        }
+
+let minst_kind = function MC _ -> "counter" | MG _ -> "gauge" | MH _ -> "histogram"
+
+let merge_minst name a b =
+  match (a, b) with
+  | MC x, MC y -> MC (x + y)
+  | MG x, MG y ->
+      let last, last_ts =
+        if x.last_ts > y.last_ts then (x.last, x.last_ts)
+        else if y.last_ts > x.last_ts then (y.last, y.last_ts)
+        else (Float.max x.last y.last, x.last_ts)
+      in
+      MG { last; last_ts; max = Float.max x.max y.max }
+  | MH x, MH y ->
+      if x.bounds <> y.bounds then
+        invalid_arg
+          (Printf.sprintf "Metrics: histogram %S bucket bounds differ across shards" name);
+      MH
+        {
+          bounds = x.bounds;
+          counts = Array.map2 ( + ) x.counts y.counts;
+          count = x.count + y.count;
+          sum = x.sum +. y.sum;
+        }
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S registered as a %s in one domain and a %s in another" name
+           (minst_kind a) (minst_kind b))
+
+(* All instruments merged across shards, sorted by name.  Shards are folded
+   in increasing domain-id order so the (already order-insensitive) merge is
+   also procedurally deterministic. *)
+let merged t =
+  with_lock t (fun () ->
+      let acc = Hashtbl.create 32 in
+      let shards = List.sort (fun a b -> compare a.domain b.domain) t.shards in
+      List.iter
+        (fun s ->
+          Hashtbl.iter
+            (fun name inst ->
+              let m = minst_of_instrument inst in
+              match Hashtbl.find_opt acc name with
+              | None -> Hashtbl.add acc name m
+              | Some prev -> Hashtbl.replace acc name (merge_minst name prev m))
+            s.tbl)
+        shards;
+      Hashtbl.fold (fun name m l -> (name, m) :: l) acc []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 type value =
   | Counter_value of int
   | Gauge_value of { last : float; max : float }
   | Histogram_value of { count : int; sum : float; buckets : (float * int) list }
 
-let snapshot t =
-  Hashtbl.fold
-    (fun name inst acc ->
-      let v =
-        match inst with
-        | C c -> Counter_value (Counter.value c)
-        | G g -> Gauge_value { last = Gauge.value g; max = Gauge.max_value g }
-        | H h ->
-            Histogram_value
-              { count = Histogram.count h; sum = Histogram.sum h; buckets = Histogram.buckets h }
-      in
-      (name, v) :: acc)
-    t.tbl []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+let value_of_minst = function
+  | MC n -> Counter_value n
+  | MG { last; max; _ } -> Gauge_value { last; max }
+  | MH { bounds; counts; count; sum } ->
+      let n = Array.length bounds in
+      Histogram_value
+        {
+          count;
+          sum;
+          buckets = List.init (n + 1) (fun i -> ((if i = n then infinity else bounds.(i)), counts.(i)));
+        }
+
+let snapshot t = List.map (fun (name, m) -> (name, value_of_minst m)) (merged t)
+
+(* Fold [src]'s merged totals into [into]'s calling-domain shard.  Missing
+   instruments are created (histograms with [src]'s exact bounds); existing
+   ones must agree on kind and bounds.  Calling this twice with the same
+   [src] double-counts — it is an accumulation, not a union. *)
+let merge_into ~into src =
+  let entries = merged src in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | MC n -> Counter.add (counter into name) n
+      | MG { last; last_ts; max } ->
+          let g = gauge into name in
+          let keep_ours =
+            g.Gauge.last_ts > last_ts
+            || (g.Gauge.last_ts = last_ts && g.Gauge.last >= last)
+          in
+          if not keep_ours then begin
+            g.Gauge.last <- last;
+            g.Gauge.last_ts <- last_ts
+          end;
+          if max > g.Gauge.max then g.Gauge.max <- max
+      | MH { bounds; counts; count; sum } ->
+          let h =
+            match
+              register into name
+                (fun () ->
+                  H
+                    {
+                      Histogram.bounds = Array.copy bounds;
+                      counts = Array.make (Array.length bounds + 1) 0;
+                      count = 0;
+                      sum = 0.0;
+                    })
+                "histogram"
+            with
+            | H h -> h
+            | _ -> assert false
+          in
+          if h.Histogram.bounds <> bounds then
+            invalid_arg
+              (Printf.sprintf "Metrics: histogram %S bucket bounds differ across registries" name);
+          Array.iteri (fun i c -> h.Histogram.counts.(i) <- h.Histogram.counts.(i) + c) counts;
+          h.Histogram.count <- h.Histogram.count + count;
+          h.Histogram.sum <- h.Histogram.sum +. sum)
+    entries
 
 let render t =
   let buf = Buffer.create 256 in

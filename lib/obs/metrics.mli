@@ -1,15 +1,38 @@
-(** Metrics registry: named counters, gauges and histograms with a
-    deterministic snapshot/render order (sorted by name), so two identical
-    seeded simulation runs produce byte-identical metric dumps.
+(** Domain-sharded metrics registry: named counters, gauges and histograms
+    with a deterministic merged snapshot/render order (sorted by name), so
+    two identical seeded simulation runs produce byte-identical metric
+    dumps — whether they ran on one domain or many.
 
-    Instruments are created through a registry and cached by name: asking
-    for the same name twice returns the same instrument; asking for an
-    existing name with a different kind raises [Invalid_argument]. *)
+    {b Sharding model.}  Each domain that touches a registry gets a private
+    shard; an instrument handle returned by {!counter} / {!gauge} /
+    {!histogram} belongs to the calling domain's shard and must only be
+    mutated by that domain.  The mutation hot path is therefore a plain
+    unsynchronized increment; registration and {!snapshot} take the
+    registry mutex.  {!snapshot} merges all shards: counters add, gauges
+    keep the value with the greatest {!Gauge.set} timestamp (ties towards
+    the larger value) and the max of maxima, histograms (identical bucket
+    bounds required) add bucket-wise.
+
+    Counter and bucket totals are integers, so a parallel run merges to
+    exactly the sequential snapshot; histogram [sum] is additionally exact
+    when the observed values are integers (hop counts, event counts).
+    Snapshots race-free: concurrent increments cannot tear a word-sized
+    field, but only quiescent snapshots (taken after workers joined) are
+    guaranteed exact.
+
+    Instruments are created through a registry and cached by name {e per
+    shard}: asking for the same name twice in one domain returns the same
+    instrument; asking for an existing name with a different kind raises
+    [Invalid_argument] (at registration within a shard, at merge across
+    shards). *)
 
 type t
 (** A registry. *)
 
 val create : unit -> t
+
+val shard_count : t -> int
+(** Number of domains that have touched this registry so far. *)
 
 module Counter : sig
   type t
@@ -20,14 +43,24 @@ module Counter : sig
   (** [add c n] with [n >= 0]. *)
 
   val value : t -> int
+  (** This shard's count only; use {!snapshot} for the merged total. *)
 end
 
 module Gauge : sig
   type t
 
-  val set : t -> float -> unit
+  val set : t -> ?ts:float -> float -> unit
+  (** Within a shard, program order wins: [set] overwrites the last value
+      unconditionally.  [ts] (default [neg_infinity]) defines the
+      cross-shard merge: the shard with the greatest timestamp supplies the
+      merged last value, ties broken towards the larger value.  Stamp sets
+      with a monotone clock (e.g. the simulation clock) to make "last"
+      well-defined across domains. *)
 
   val value : t -> float
+
+  val last_ts : t -> float
+  (** Timestamp of the last [set] ([neg_infinity] if unstamped). *)
 
   val max_value : t -> float
   (** High-water mark over the gauge's lifetime ([neg_infinity] before the
@@ -63,7 +96,9 @@ val gauge : t -> string -> Gauge.t
 val histogram : t -> ?base:float -> ?lowest:float -> ?count:int -> string -> Histogram.t
 (** Defaults: [base = 10.], [lowest = 1e-3], [count = 8] bounds (plus the
     overflow bucket) — with the defaults, bounds 1e-3 .. 1e4.  [base > 1],
-    [lowest > 0], [count >= 1]. *)
+    [lowest > 0], [count >= 1].  Registering the same name with different
+    bucket parameters in different domains is detected at merge time
+    ([Invalid_argument]). *)
 
 type value =
   | Counter_value of int
@@ -71,7 +106,16 @@ type value =
   | Histogram_value of { count : int; sum : float; buckets : (float * int) list }
 
 val snapshot : t -> (string * value) list
-(** All instruments, sorted by name. *)
+(** All instruments merged across shards, sorted by name.  Raises
+    [Invalid_argument] on cross-shard kind clashes or histogram bound
+    mismatches. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] folds [src]'s merged totals into [into]'s
+    calling-domain shard, creating missing instruments (histograms keep
+    [src]'s exact bounds).  This is an accumulation — calling it twice with
+    the same [src] double-counts.  Raises [Invalid_argument] on kind or
+    bucket-bound mismatches. *)
 
 val render : t -> string
 (** Human-readable dump of {!snapshot}, one instrument per line (histograms

@@ -1,0 +1,150 @@
+(* Performance-observability recorder: named phases with wall-clock and
+   GC-counter deltas, plus per-domain pool-worker utilisation.
+
+   Phases are recorded by the orchestrating domain around coarse stages of
+   a run (build, sweep, render); workers are recorded by [Pool.map] (one
+   record per worker domain per fan-out).  Both append to mutex-guarded
+   lists, so a recorder can be shared freely; the per-task hot path touches
+   only the worker's own handle (no lock, no contention).
+
+   OCaml 5 GC counters ([Gc.quick_stat]) are views from the calling domain;
+   a phase that fans work out to other domains reports the orchestrator's
+   own allocation, not the workers' — the per-worker [minor_words] delta
+   covers those. *)
+
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+type phase = { name : string; wall_s : float; gc : gc_delta }
+
+type worker = {
+  domain : int;
+  tasks : int;
+  busy_s : float;
+  wall_s : float; (* worker lifetime: spawn-to-exit inside the fan-out *)
+  minor_words : float;
+}
+
+type t = {
+  lock : Mutex.t;
+  mutable phases : phase list; (* newest first *)
+  mutable workers : worker list; (* newest first *)
+}
+
+let create () = { lock = Mutex.create (); phases = []; workers = [] }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let gc_delta (a : Gc.stat) (b : Gc.stat) =
+  {
+    minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+    major_words = b.Gc.major_words -. a.Gc.major_words;
+    promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+    minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+    major_collections = b.Gc.major_collections - a.Gc.major_collections;
+    compactions = b.Gc.compactions - a.Gc.compactions;
+  }
+
+let phase t name f =
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
+  let record () =
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let gc = gc_delta g0 (Gc.quick_stat ()) in
+    with_lock t (fun () -> t.phases <- { name; wall_s; gc } :: t.phases)
+  in
+  Fun.protect ~finally:record f
+
+(* -- Pool workers ------------------------------------------------------- *)
+
+type worker_handle = {
+  prof : t;
+  domain : int;
+  mutable tasks : int;
+  mutable busy : float;
+  started : float;
+  minor0 : float;
+}
+
+let worker_start prof =
+  {
+    prof;
+    domain = (Domain.self () :> int);
+    tasks = 0;
+    busy = 0.0;
+    started = Unix.gettimeofday ();
+    minor0 = (Gc.quick_stat ()).Gc.minor_words;
+  }
+
+let worker_task h f =
+  let t0 = Unix.gettimeofday () in
+  let record () =
+    h.busy <- h.busy +. (Unix.gettimeofday () -. t0);
+    h.tasks <- h.tasks + 1
+  in
+  Fun.protect ~finally:record f
+
+let worker_stop h =
+  let w =
+    {
+      domain = h.domain;
+      tasks = h.tasks;
+      busy_s = h.busy;
+      wall_s = Unix.gettimeofday () -. h.started;
+      minor_words = (Gc.quick_stat ()).Gc.minor_words -. h.minor0;
+    }
+  in
+  with_lock h.prof (fun () -> h.prof.workers <- w :: h.prof.workers)
+
+let phases t = with_lock t (fun () -> List.rev t.phases)
+
+let workers t =
+  with_lock t (fun () ->
+      List.sort (fun (a : worker) (b : worker) -> compare (a.domain, a.wall_s) (b.domain, b.wall_s)) t.workers)
+
+let mwords w = w /. 1e6
+
+let render t =
+  let buf = Buffer.create 512 in
+  let phases = phases t and workers = workers t in
+  if phases <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-24s %9s %10s %10s %10s %6s %6s\n" "phase" "wall(s)" "minor(Mw)"
+         "major(Mw)" "promo(Mw)" "min-gc" "maj-gc");
+    List.iter
+      (fun p ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-24s %9.3f %10.2f %10.2f %10.2f %6d %6d\n" p.name p.wall_s
+             (mwords p.gc.minor_words) (mwords p.gc.major_words) (mwords p.gc.promoted_words)
+             p.gc.minor_collections p.gc.major_collections))
+      phases
+  end;
+  if workers <> [] then begin
+    if phases <> [] then Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%-8s %7s %9s %9s %6s %10s\n" "domain" "tasks" "busy(s)" "idle(s)" "util%"
+         "minor(Mw)");
+    let total_tasks = ref 0 and total_busy = ref 0.0 in
+    List.iter
+      (fun (w : worker) ->
+        total_tasks := !total_tasks + w.tasks;
+        total_busy := !total_busy +. w.busy_s;
+        let idle = Float.max 0.0 (w.wall_s -. w.busy_s) in
+        let util = if w.wall_s > 0.0 then 100.0 *. w.busy_s /. w.wall_s else 0.0 in
+        Buffer.add_string buf
+          (Printf.sprintf "%-8d %7d %9.3f %9.3f %6.1f %10.2f\n" w.domain w.tasks w.busy_s idle util
+             (mwords w.minor_words)))
+      workers;
+    Buffer.add_string buf
+      (Printf.sprintf "%-8s %7d %9.3f   (%d worker record(s))\n" "total" !total_tasks !total_busy
+         (List.length workers))
+  end;
+  Buffer.contents buf

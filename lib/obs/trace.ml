@@ -22,16 +22,67 @@ type sink =
   | Noop
   | Ring of { capacity : int; q : event Queue.t }
   | Emit of (string -> unit)
+  | Sharded of { capacity : int; rings : (int * event Queue.t) list Atomic.t }
+      (* One ring per domain, keyed by domain id.  The list is immutable
+         and grows by CAS, so lookups never lock; each ring is only pushed
+         by its owning domain. *)
 
 let noop = Noop
+
+let wall_clock = Unix.gettimeofday
 
 let ring ~capacity =
   if capacity < 1 then invalid_arg "Trace.ring: capacity must be positive";
   Ring { capacity; q = Queue.create () }
 
+let sharded_ring ~capacity =
+  if capacity < 1 then invalid_arg "Trace.sharded_ring: capacity must be positive";
+  Sharded { capacity; rings = Atomic.make [] }
+
 let ring_contents = function
   | Ring { q; _ } -> List.of_seq (Queue.to_seq q)
+  | Noop | Emit _ | Sharded _ -> []
+
+(* The calling domain's ring, installed on first emit. *)
+let my_ring rings =
+  let id = (Domain.self () :> int) in
+  let find l = List.assoc_opt id l in
+  match find (Atomic.get rings) with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      let rec install () =
+        let cur = Atomic.get rings in
+        match find cur with
+        | Some q -> q
+        | None -> if Atomic.compare_and_set rings cur ((id, q) :: cur) then q else install ()
+      in
+      install ()
+
+(* Stitch the per-domain rings into one stream: every event's [tid] becomes
+   its domain id, each ring is sorted by timestamp (stable, so same-ts
+   events keep emission order), and the rings are merged by
+   (ts, domain, emission index) — a total order, hence deterministic, that
+   preserves per-tid timestamp monotonicity by construction.
+
+   Only call once the emitting domains have quiesced (e.g. after the
+   [Pool.map] that drove them has joined its workers). *)
+let stitched_contents = function
+  | Ring _ as s -> ring_contents s
   | Noop | Emit _ -> []
+  | Sharded { rings; _ } ->
+      let tagged =
+        List.concat_map
+          (fun (domain, q) ->
+            List.mapi (fun i e -> (e.ts, domain, i, { e with tid = domain })) (List.of_seq (Queue.to_seq q)))
+          (Atomic.get rings)
+      in
+      let cmp (ts1, d1, i1, _) (ts2, d2, i2, _) =
+        match Float.compare ts1 ts2 with
+        | 0 -> ( match compare d1 d2 with 0 -> compare i1 i2 | c -> c)
+        | c -> c
+      in
+      List.map (fun (_, _, _, e) -> e) (List.sort cmp tagged)
 
 let jsonl f = Emit f
 
@@ -126,6 +177,10 @@ let emit t e =
   match t.sink with
   | Noop -> ()
   | Ring { capacity; q } ->
+      Queue.push e q;
+      if Queue.length q > capacity then ignore (Queue.pop q)
+  | Sharded { capacity; rings } ->
+      let q = my_ring rings in
       Queue.push e q;
       if Queue.length q > capacity then ignore (Queue.pop q)
   | Emit f -> f (to_json e)

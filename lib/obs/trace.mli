@@ -35,10 +35,33 @@ type sink
 val noop : sink
 
 val ring : capacity:int -> sink
-(** In-memory ring buffer keeping the last [capacity] events. *)
+(** In-memory ring buffer keeping the last [capacity] events.  Single-domain
+    only — use {!sharded_ring} when several domains share one tracer. *)
+
+val sharded_ring : capacity:int -> sink
+(** One ring of [capacity] events {e per domain}: each emitting domain
+    pushes to a private ring it installs on first use (a lock-free CAS
+    append; the rings of domains that have since terminated are kept).
+    Read the merged stream back with {!stitched_contents}. *)
 
 val ring_contents : sink -> event list
-(** Buffered events, oldest first; [[]] for non-ring sinks. *)
+(** Buffered events, oldest first; [[]] for non-ring sinks (including
+    sharded rings — use {!stitched_contents} for those). *)
+
+val stitched_contents : sink -> event list
+(** The sink's buffered events as one stream.  For a {!sharded_ring} every
+    event's [tid] is replaced by its emitting domain's id, each per-domain
+    ring is ordered by timestamp (stable within equal timestamps), and the
+    rings are merged by (ts, domain, emission index) — deterministic, and
+    timestamps are monotone per tid by construction.  Only call after the
+    emitting domains have quiesced (e.g. after [Pool.map] joined its
+    workers).  For a plain {!ring} this is {!ring_contents}; [[]]
+    otherwise. *)
+
+val wall_clock : unit -> float
+(** [Unix.gettimeofday] — the timestamp source for spans over real
+    computation (Dijkstra runs, pool tasks), as opposed to the simulation
+    clock used by the protocol instrumentation. *)
 
 val jsonl : (string -> unit) -> sink
 (** Calls the function once per event with its JSON rendering (no trailing

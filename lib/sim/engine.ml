@@ -47,7 +47,9 @@ let schedule_at t ~time action =
   (match t.meters with
   | Some m ->
       Metrics.Counter.incr m.scheduled;
-      Metrics.Gauge.set m.depth (float_of_int (Heap.length t.queue))
+      (* Stamped with sim time so merged gauges resolve by the simulation's
+         own clock, not wall-clock or shard order. *)
+      Metrics.Gauge.set m.depth ~ts:t.clock (float_of_int (Heap.length t.queue))
   | None -> ());
   handle
 
@@ -80,7 +82,7 @@ let step t =
       t.clock <- time;
       (match t.meters with
       | Some m ->
-          Metrics.Gauge.set m.depth (float_of_int (Heap.length t.queue));
+          Metrics.Gauge.set m.depth ~ts:time (float_of_int (Heap.length t.queue));
           Metrics.Counter.incr (if ev.handle.cancelled then m.skipped else m.fired)
       | None -> ());
       if not ev.handle.cancelled then ev.action ();

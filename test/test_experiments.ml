@@ -7,6 +7,10 @@ module Latency = Smrp_experiments.Latency
 module Ablation = Smrp_experiments.Ablation
 module Stats = Smrp_metrics.Stats
 module Tree = Smrp_core.Tree
+module Pool = Smrp_experiments.Pool
+module Metrics = Smrp_obs.Metrics
+module Trace = Smrp_obs.Trace
+module Profile = Smrp_obs.Profile
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -58,6 +62,69 @@ let fig10_smoke () =
   let rows = Figures.Fig10.run ~seed:1 ~values:[ 20; 40 ] ~scenarios:8 () in
   check_int "two rows" 2 (List.length rows);
   check "renders" true (String.length (Figures.Fig10.render rows) > 100)
+
+let fig9_parallel_identical_snapshot () =
+  (* The satellite-2 determinism check: a figure run on 1 domain and on 4
+     must agree on the rendering AND on the merged metrics snapshot — not
+     just on what is printed.  Fig. 9 uses the default [`Unit] link metric,
+     so every observed value is an integer and the equality is exact. *)
+  let leg jobs =
+    let metrics = Metrics.create () in
+    let rows =
+      Figures.Fig9.run ~jobs ~metrics ~seed:9 ~values:[ 0.2; 0.3 ] ~scenarios:6
+        ~degree_ten_row:false ()
+    in
+    (Figures.Fig9.render rows, Metrics.snapshot metrics)
+  in
+  let render_seq, snap_seq = leg 1 in
+  let render_par, snap_par = leg 4 in
+  check "renderings identical" true (String.equal render_seq render_par);
+  check "merged snapshots identical" true (snap_seq = snap_par);
+  (* The snapshot is non-trivial: 12 scenarios of 30 members each. *)
+  match List.assoc_opt "scenario.members" snap_par with
+  | Some (Metrics.Counter_value n) -> check_int "members counted" 360 n
+  | _ -> Alcotest.fail "scenario.members missing"
+
+let pool_profile_and_trace_hooks () =
+  (* Pool.map with instrumentation live: worker task totals must equal the
+     input size, every task span must appear in the stitched trace exactly
+     once, and the mapped result must be unaffected. *)
+  let profile = Profile.create () in
+  let sink = Trace.sharded_ring ~capacity:4096 in
+  let tracer = Trace.create sink in
+  let xs = List.init 23 Fun.id in
+  let ys =
+    Pool.with_instrumentation ~profile ~trace:tracer (fun () ->
+        Pool.map ~jobs:3 (fun x -> x * x) xs)
+  in
+  check "results unaffected" true (ys = List.map (fun x -> x * x) xs);
+  let workers = Profile.workers profile in
+  check_int "one record per worker domain" 3 (List.length workers);
+  check_int "worker task totals cover the input" 23
+    (List.fold_left (fun acc (w : Profile.worker) -> acc + w.Profile.tasks) 0 workers);
+  List.iter
+    (fun (w : Profile.worker) ->
+      check "busy within lifetime" true (w.Profile.busy_s <= w.Profile.wall_s +. 1e-6))
+    workers;
+  let events = Trace.stitched_contents sink in
+  let tasks = List.filter (fun e -> e.Trace.name = "pool.task") events in
+  check_int "one span per task" 23 (List.length tasks);
+  let indices =
+    List.sort compare
+      (List.filter_map
+         (fun e ->
+           match List.assoc_opt "index" e.Trace.args with
+           | Some (Trace.Int i) -> Some i
+           | _ -> None)
+         tasks)
+  in
+  check "every index traced once" true (indices = xs);
+  check_int "one worker span per domain" 3
+    (List.length (List.filter (fun e -> e.Trace.name = "pool.worker") events));
+  (* The ambient hooks are restored on exit: an uninstrumented map records
+     nothing new. *)
+  ignore (Pool.map ~jobs:2 Fun.id [ 1; 2; 3 ]);
+  check_int "ambient hooks restored" 3 (List.length (Profile.workers profile))
 
 let latency_smoke () =
   let cfg = { Latency.default with Latency.settle_time = 40.0; run_time = 30.0 } in
@@ -112,6 +179,12 @@ let () =
           Alcotest.test_case "fig8" `Quick fig8_smoke;
           Alcotest.test_case "fig9" `Quick fig9_smoke;
           Alcotest.test_case "fig10" `Quick fig10_smoke;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "fig9 seq/par identical snapshot" `Quick
+            fig9_parallel_identical_snapshot;
+          Alcotest.test_case "pool profile and trace hooks" `Quick pool_profile_and_trace_hooks;
         ] );
       ( "extensions",
         [

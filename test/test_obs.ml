@@ -84,6 +84,157 @@ let snapshot_sorted_and_rendered () =
     (let r = Metrics.render m in
      List.for_all (fun n -> contains ~affix:n r) [ "aa"; "mm"; "zz" ])
 
+(* -- Sharded metrics across domains ------------------------------------- *)
+
+(* Run [body k] on 4 domains (k = 0..3) against a shared registry and
+   return the registry once all have joined (a quiescent snapshot). *)
+let on_four_domains body =
+  let m = Metrics.create () in
+  let domains = Array.init 4 (fun k -> Domain.spawn (fun () -> body m k)) in
+  Array.iter Domain.join domains;
+  m
+
+let find_value m name =
+  match List.assoc_opt name (Metrics.snapshot m) with
+  | Some v -> v
+  | None -> Alcotest.failf "instrument %S missing from snapshot" name
+
+let sharded_hammer_exact_totals () =
+  (* The satellite-1 hammer: every domain mutates its private shard through
+     the plain unsynchronized hot path; the merged totals must be exact. *)
+  (* Divisible by 3 so each domain's 1/2/3 rotation is exactly balanced. *)
+  let per_domain = 60_000 in
+  let m =
+    on_four_domains (fun m k ->
+        let c = Metrics.counter m "hammer.count" in
+        let h = Metrics.histogram m ~base:2.0 ~lowest:1.0 ~count:4 "hammer.hist" in
+        for i = 1 to per_domain do
+          Metrics.Counter.incr c;
+          Metrics.Histogram.observe h (float_of_int (1 + ((i + k) mod 3)))
+        done;
+        Metrics.Gauge.set (Metrics.gauge m "hammer.gauge") ~ts:(float_of_int k)
+          (float_of_int (10 * k)))
+  in
+  check_int "one shard per domain" 4 (Metrics.shard_count m);
+  (match find_value m "hammer.count" with
+  | Metrics.Counter_value n -> check_int "counter total" (4 * per_domain) n
+  | _ -> Alcotest.fail "hammer.count is not a counter");
+  (match find_value m "hammer.hist" with
+  | Metrics.Histogram_value { count; sum; buckets } ->
+      check_int "histogram count" (4 * per_domain) count;
+      (* Each domain observes 1, 2 and 3 in a rotation over [per_domain]
+         observations; summed over the 4 offsets the multiset is exactly
+         balanced, so the total is 4 * per_domain * 2. *)
+      Alcotest.(check (float 0.0)) "histogram sum exact" (float_of_int (8 * per_domain)) sum;
+      check_int "bucket mass conserved" (4 * per_domain)
+        (List.fold_left (fun acc (_, n) -> acc + n) 0 buckets)
+  | _ -> Alcotest.fail "hammer.hist is not a histogram");
+  match find_value m "hammer.gauge" with
+  | Metrics.Gauge_value { last; max } ->
+      Alcotest.(check (float 0.0)) "last writer by timestamp" 30.0 last;
+      Alcotest.(check (float 0.0)) "max of maxima" 30.0 max
+  | _ -> Alcotest.fail "hammer.gauge is not a gauge"
+
+let gauge_merge_semantics () =
+  let m =
+    on_four_domains (fun m k ->
+        (* Older timestamp carries the larger value: "last" must follow the
+           timestamp, not program order across domains. *)
+        Metrics.Gauge.set (Metrics.gauge m "g.ts") ~ts:(float_of_int (10 - k))
+          (float_of_int (100 * k));
+        (* Equal timestamps: the tie breaks towards the larger value. *)
+        Metrics.Gauge.set (Metrics.gauge m "g.tie") ~ts:1.0 (float_of_int k);
+        (* Unstamped sets all carry ts = -inf; max still merges. *)
+        Metrics.Gauge.set (Metrics.gauge m "g.unstamped") (float_of_int (k * k)))
+  in
+  (match find_value m "g.ts" with
+  | Metrics.Gauge_value { last; max } ->
+      Alcotest.(check (float 0.0)) "greatest ts wins (k=0)" 0.0 last;
+      Alcotest.(check (float 0.0)) "max over shards" 300.0 max
+  | _ -> Alcotest.fail "g.ts is not a gauge");
+  (match find_value m "g.tie" with
+  | Metrics.Gauge_value { last; _ } ->
+      Alcotest.(check (float 0.0)) "tie breaks to larger value" 3.0 last
+  | _ -> Alcotest.fail "g.tie is not a gauge");
+  match find_value m "g.unstamped" with
+  | Metrics.Gauge_value { last; max } ->
+      Alcotest.(check (float 0.0)) "all-tied merge is the max" 9.0 last;
+      Alcotest.(check (float 0.0)) "max" 9.0 max
+  | _ -> Alcotest.fail "g.unstamped is not a gauge"
+
+let histogram_merge_bounds_mismatch_rejected () =
+  let m =
+    on_four_domains (fun m k ->
+        (* Same name, different bucket bases in different shards: legal to
+           register (shards are independent), illegal to merge. *)
+        let base = if k mod 2 = 0 then 2.0 else 10.0 in
+        Metrics.Histogram.observe (Metrics.histogram m ~base ~lowest:1.0 ~count:4 "h.clash") 5.0)
+  in
+  Alcotest.check_raises "merge rejects differing bounds"
+    (Invalid_argument "Metrics: histogram \"h.clash\" bucket bounds differ across shards")
+    (fun () -> ignore (Metrics.snapshot m))
+
+let kind_clash_across_domains_rejected () =
+  let m =
+    on_four_domains (fun m k ->
+        if k = 0 then Metrics.Counter.incr (Metrics.counter m "x")
+        else if k = 1 then Metrics.Gauge.set (Metrics.gauge m "x") 1.0)
+  in
+  Alcotest.check_raises "merge rejects kind clash"
+    (Invalid_argument "Metrics: \"x\" registered as a counter in one domain and a gauge in another")
+    (fun () -> ignore (Metrics.snapshot m))
+
+let histogram_merge_preserves_overflow () =
+  (* Bounds: 1, 2, 4, 8 (+ overflow).  Two domains fill disjoint parts of
+     the range including the overflow bucket; the merged histogram must
+     keep every bucket count, the total count and the exact sum. *)
+  let m =
+    on_four_domains (fun m k ->
+        let h = Metrics.histogram m ~base:2.0 ~lowest:1.0 ~count:4 "h.over" in
+        if k = 0 then List.iter (Metrics.Histogram.observe h) [ 1.0; 3.0; 100.0 ]
+        else if k = 1 then List.iter (Metrics.Histogram.observe h) [ 2.0; 1000.0; 9.0 ])
+  in
+  match find_value m "h.over" with
+  | Metrics.Histogram_value { count; sum; buckets } ->
+      check_int "count adds" 6 count;
+      Alcotest.(check (float 0.0)) "sum adds exactly" 1115.0 sum;
+      (match buckets with
+      | [ (b1, n1); (_, n2); (_, n3); (_, n4); (binf, ninf) ] ->
+          Alcotest.(check (float 0.0)) "first bound" 1.0 b1;
+          check "overflow bound is +inf" true (binf = infinity);
+          Alcotest.(check (list int)) "bucket-wise totals" [ 1; 1; 1; 0 ] [ n1; n2; n3; n4 ];
+          check_int "overflow preserved" 3 ninf
+      | l -> Alcotest.failf "expected 5 buckets, got %d" (List.length l))
+  | _ -> Alcotest.fail "h.over is not a histogram"
+
+let merge_into_accumulates () =
+  let src = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter src "c") 5;
+  let h = Metrics.histogram src ~base:2.0 ~lowest:1.0 ~count:3 "h" in
+  List.iter (Metrics.Histogram.observe h) [ 1.0; 50.0 ];
+  Metrics.Gauge.set (Metrics.gauge src "g") ~ts:7.0 3.0;
+  let into = Metrics.create () in
+  (* An older stamped value in [into] must lose to the newer one in [src]. *)
+  Metrics.Gauge.set (Metrics.gauge into "g") ~ts:1.0 42.0;
+  Metrics.merge_into ~into src;
+  (* The histogram was created in [into] with src's exact bounds. *)
+  (match find_value into "h" with
+  | Metrics.Histogram_value { count; sum; buckets } ->
+      check_int "count copied" 2 count;
+      Alcotest.(check (float 0.0)) "sum copied" 51.0 sum;
+      check_int "buckets copied" 4 (List.length buckets)
+  | _ -> Alcotest.fail "h is not a histogram");
+  (match find_value into "g" with
+  | Metrics.Gauge_value { last; max } ->
+      Alcotest.(check (float 0.0)) "newer src timestamp wins" 3.0 last;
+      Alcotest.(check (float 0.0)) "max across registries" 42.0 max
+  | _ -> Alcotest.fail "g is not a gauge");
+  (* Accumulation, not union: a second merge double-counts. *)
+  Metrics.merge_into ~into src;
+  match find_value into "c" with
+  | Metrics.Counter_value n -> check_int "second merge adds again" 10 n
+  | _ -> Alcotest.fail "c is not a counter"
+
 (* -- Trace -------------------------------------------------------------- *)
 
 let span_nesting_in_ring () =
@@ -141,6 +292,53 @@ let json_shape () =
       "\"tid\":7";
       "\"args\":{\"dst\":3}";
     ]
+
+let stitched_multi_domain_monotone_per_tid () =
+  (* Four domains emit into one sharded tracer with deliberately
+     overlapping timestamps; the stitched stream must carry domain ids as
+     tids, be globally ts-ordered, and be monotone within every tid. *)
+  let sink = Trace.sharded_ring ~capacity:1000 in
+  let t = Trace.create sink in
+  let emit k =
+    for i = 0 to 9 do
+      Trace.instant t ~ts:(float_of_int i) ~args:[ ("k", Trace.Int k) ]
+        (Printf.sprintf "d%d.e%d" k i)
+    done
+  in
+  let domains = Array.init 4 (fun k -> Domain.spawn (fun () -> emit k)) in
+  Array.iter Domain.join domains;
+  let events = Trace.stitched_contents sink in
+  check_int "all events stitched" 40 (List.length events);
+  let tids = List.sort_uniq compare (List.map (fun e -> e.Trace.tid) events) in
+  check_int "four distinct tids" 4 (List.length tids);
+  let rec globally_sorted = function
+    | a :: (b :: _ as rest) -> a.Trace.ts <= b.Trace.ts && globally_sorted rest
+    | _ -> true
+  in
+  check "globally ts-ordered" true (globally_sorted events);
+  List.iter
+    (fun tid ->
+      let mine = List.filter (fun e -> e.Trace.tid = tid) events in
+      check_int "per-tid events" 10 (List.length mine);
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a.Trace.ts <= b.Trace.ts && monotone rest
+        | _ -> true
+      in
+      check "monotone per tid" true (monotone mine);
+      (* Per-ring emission order survives the stitch for equal timestamps. *)
+      List.iteri
+        (fun i e ->
+          check "emission order kept" true (e.Trace.name = Printf.sprintf "d%d.e%d"
+            (match e.Trace.args with [ (_, Trace.Int k) ] -> k | _ -> -1) i))
+        mine)
+    tids;
+  (* Per-domain rings are individually bounded. *)
+  let sink2 = Trace.sharded_ring ~capacity:3 in
+  let t2 = Trace.create sink2 in
+  let d = Domain.spawn (fun () -> for i = 1 to 5 do Trace.instant t2 ~ts:(float_of_int i) "e" done) in
+  Domain.join d;
+  Alcotest.(check (list (float 0.0))) "ring bound per domain" [ 3.0; 4.0; 5.0 ]
+    (List.map (fun e -> e.Trace.ts) (Trace.stitched_contents sink2))
 
 (* One fully instrumented seeded simulation; used by the determinism and
    smoke tests below. *)
@@ -269,12 +467,26 @@ let () =
           Alcotest.test_case "histogram bucketing" `Quick histogram_bucketing;
           Alcotest.test_case "snapshot sorted" `Quick snapshot_sorted_and_rendered;
         ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "4-domain hammer exact totals" `Quick sharded_hammer_exact_totals;
+          Alcotest.test_case "gauge merge semantics" `Quick gauge_merge_semantics;
+          Alcotest.test_case "histogram bounds mismatch rejected" `Quick
+            histogram_merge_bounds_mismatch_rejected;
+          Alcotest.test_case "kind clash across domains rejected" `Quick
+            kind_clash_across_domains_rejected;
+          Alcotest.test_case "histogram merge preserves overflow" `Quick
+            histogram_merge_preserves_overflow;
+          Alcotest.test_case "merge_into accumulates" `Quick merge_into_accumulates;
+        ] );
       ( "trace",
         [
           Alcotest.test_case "span nesting" `Quick span_nesting_in_ring;
           Alcotest.test_case "ring keeps last" `Quick ring_keeps_last_events;
           Alcotest.test_case "json shape" `Quick json_shape;
           Alcotest.test_case "sinks deterministic" `Quick sinks_deterministic_across_runs;
+          Alcotest.test_case "multi-domain stitching monotone per tid" `Quick
+            stitched_multi_domain_monotone_per_tid;
         ] );
       ( "timeline",
         [
