@@ -234,6 +234,91 @@ let profile_cmd =
           GC deltas, and optionally the stitched multi-domain trace.")
     Term.(const run $ seed_arg 9 $ scenarios_arg $ jobs $ trace)
 
+let fuzz_cmd =
+  let module Fuzz = Smrp_check.Fuzz in
+  let module Case = Smrp_check.Case in
+  let module Exec = Smrp_check.Exec in
+  let replay_one ~bug file =
+    match Case.load file with
+    | Error msg ->
+        Printf.eprintf "fuzz: cannot load %s: %s\n" file msg;
+        exit 2
+    | Ok case -> (
+        Format.printf "%a@." Case.pp case;
+        match Fuzz.replay ~bug case with
+        | Exec.Pass s ->
+            Printf.printf "replay: all invariants held (%d event(s) applied, %d skipped)\n"
+              s.Exec.applied s.Exec.skipped;
+            exit 0
+        | Exec.Fail v ->
+            Format.printf "replay: VIOLATION %a@." Exec.pp_violation v;
+            exit 1)
+  in
+  let campaign ~seed ~runs ~bug ~max_nodes ~out =
+    let params = { Smrp_check.Gen.default with Smrp_check.Gen.max_nodes } in
+    let report = Fuzz.run { Fuzz.default with Fuzz.seed; runs; bug; params } in
+    print_string (Fuzz.render report);
+    match report.Fuzz.failures with
+    | [] -> exit 0
+    | f :: _ ->
+        Case.save out f.Fuzz.shrunk;
+        Printf.printf "fuzz: shrunk repro written to %s (replay with: smrp fuzz --replay %s%s)\n"
+          out out
+          (match bug with
+          | Exec.No_bug -> ""
+          | b -> Printf.sprintf " --inject %s" (Exec.bug_to_string b));
+        exit 1
+  in
+  let run seed runs inject replay max_nodes out =
+    let bug =
+      match Exec.bug_of_string inject with
+      | Ok b -> b
+      | Error msg ->
+          Printf.eprintf "fuzz: %s\n" msg;
+          exit 2
+    in
+    match replay with
+    | Some file -> replay_one ~bug file
+    | None -> campaign ~seed ~runs ~bug ~max_nodes ~out
+  in
+  let runs =
+    Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Random cases to execute.")
+  in
+  let inject =
+    Arg.(
+      value & opt string "none"
+      & info [ "inject" ] ~docv:"BUG"
+          ~doc:
+            "Deliberately inject a protocol bug (oracle self-test): $(b,skip-shr) drops an \
+             N_R/SHR bookkeeping update on every join; $(b,drop-member) makes reshaping \
+             silently unsubscribe a member; $(b,none) fuzzes the real stack.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE" ~doc:"Replay one repro file instead of fuzzing.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt int Smrp_check.Gen.default.Smrp_check.Gen.max_nodes
+      & info [ "max-nodes" ] ~docv:"N" ~doc:"Topology size ceiling for generated cases.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "smrp-fuzz-repro.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the shrunk repro on failure.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fault-injection fuzzing: random topologies and event schedules driven through \
+          Session/Recovery/Reshape with invariant oracles after every event; failures shrink \
+          to replayable repro files.")
+    Term.(const run $ seed_arg 42 $ runs $ inject $ replay $ max_nodes $ out)
+
 let ablations_cmd =
   let run seed scenarios =
     print_string (Ablation.Reshaping.render (Ablation.Reshaping.run ~seed ~scenarios ()));
@@ -287,6 +372,7 @@ let () =
             fig10_cmd;
             all_cmd;
             scenario_cmd;
+            fuzz_cmd;
             latency_cmd;
             profile_cmd;
             ablations_cmd;

@@ -1,0 +1,92 @@
+module Rng = Smrp_rng.Rng
+
+type config = {
+  seed : int;
+  runs : int;
+  bug : Exec.bug;
+  params : Gen.params;
+  max_failures : int;
+}
+
+let default =
+  { seed = 42; runs = 500; bug = Exec.No_bug; params = Gen.default; max_failures = 1 }
+
+type failure = { run : int; case : Case.t; shrunk : Case.t; violation : Exec.violation }
+
+type report = {
+  runs : int;
+  applied : int;
+  skipped : int;
+  repairs : int;
+  lost : int;
+  switches : int;
+  failures : failure list;
+}
+
+let replay ?bug case = Exec.run ?bug case
+
+let run config =
+  let rng = Rng.create config.seed in
+  let report =
+    ref { runs = 0; applied = 0; skipped = 0; repairs = 0; lost = 0; switches = 0; failures = [] }
+  in
+  let bug = match config.bug with Exec.No_bug -> None | b -> Some b in
+  (let continue = ref true in
+   let i = ref 0 in
+   while !continue && !i < config.runs do
+     let case_rng = Rng.split rng in
+     let case = Gen.case ~params:config.params case_rng in
+     (match Exec.run ?bug case with
+     | Exec.Pass s ->
+         report :=
+           {
+             !report with
+             runs = !report.runs + 1;
+             applied = !report.applied + s.Exec.applied;
+             skipped = !report.skipped + s.Exec.skipped;
+             repairs = !report.repairs + s.Exec.repairs;
+             lost = !report.lost + s.Exec.lost;
+             switches = !report.switches + s.Exec.switches;
+           }
+     | Exec.Fail _ ->
+         let shrunk = Shrink.shrink ~fails:(Exec.fails ?bug) case in
+         let violation =
+           match Exec.run ?bug shrunk with
+           | Exec.Fail v -> v
+           | Exec.Pass _ -> assert false (* shrink only returns failing cases *)
+         in
+         report :=
+           {
+             !report with
+             runs = !report.runs + 1;
+             failures = !report.failures @ [ { run = !i; case; shrunk; violation } ];
+           };
+         if List.length !report.failures >= config.max_failures then continue := false);
+     incr i
+   done);
+  !report
+
+let render r =
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf
+    "fuzz: %d run(s), %d event(s) applied (%d skipped), %d repair(s), %d lost member(s), %d \
+     reshape switch(es)\n"
+    r.runs r.applied r.skipped r.repairs r.lost r.switches;
+  (match r.failures with
+  | [] -> Buffer.add_string buf "fuzz: all invariants held\n"
+  | fs ->
+      List.iter
+        (fun f ->
+          Printf.bprintf buf
+            "fuzz: VIOLATION on run %d (original: %d events over %d nodes; shrunk: %d events \
+             over %d nodes)\n"
+            f.run
+            (Case.event_count f.case)
+            f.case.Case.n
+            (Case.event_count f.shrunk)
+            f.shrunk.Case.n;
+          Printf.bprintf buf "  %s\n"
+            (Format.asprintf "%a" Exec.pp_violation f.violation);
+          Printf.bprintf buf "%s\n" (Format.asprintf "  @[<v>%a@]" Case.pp f.shrunk))
+        fs);
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Campaign driver: generate → execute → (on violation) shrink.
+
+    Each run draws its case from an {!Smrp_rng.Rng.split} stream of the root
+    seed, so run [i] of seed [s] is the same case forever — a campaign
+    failure report is reproducible from [(seed, run)] alone, and the shrunk
+    repro file makes it portable. *)
+
+type config = {
+  seed : int;
+  runs : int;
+  bug : Exec.bug;  (** Deliberate fault to inject (oracle self-test). *)
+  params : Gen.params;
+  max_failures : int;  (** Stop the campaign after this many failures (default 1). *)
+}
+
+val default : config
+(** seed 42, 500 runs, no bug, default generator, stop at the first failure. *)
+
+type failure = {
+  run : int;  (** Campaign iteration that failed. *)
+  case : Case.t;  (** The original draw. *)
+  shrunk : Case.t;  (** Minimized by {!Shrink.shrink}. *)
+  violation : Exec.violation;  (** The violation the {e shrunk} case exhibits. *)
+}
+
+type report = {
+  runs : int;
+  applied : int;  (** Events applied across the whole campaign. *)
+  skipped : int;
+  repairs : int;
+  lost : int;
+  switches : int;
+  failures : failure list;
+}
+
+val run : config -> report
+
+val replay : ?bug:Exec.bug -> Case.t -> Exec.outcome
+(** Re-execute one case (e.g. loaded from a repro file). *)
+
+val render : report -> string
+(** Human-readable campaign summary (one paragraph, plus each failure's
+    violation and shrunk case). *)

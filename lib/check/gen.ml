@@ -1,0 +1,132 @@
+module Graph = Smrp_graph.Graph
+module Rng = Smrp_rng.Rng
+module Waxman = Smrp_topology.Waxman
+module Transit_stub = Smrp_topology.Transit_stub
+
+type params = {
+  min_nodes : int;
+  max_nodes : int;
+  max_events : int;
+  transit_stub_share : float;
+}
+
+let default = { min_nodes = 8; max_nodes = 36; max_events = 24; transit_stub_share = 0.25 }
+
+let edges_of_graph g =
+  List.rev (Graph.fold_edges (fun acc e -> (e.Graph.u, e.Graph.v, e.Graph.delay) :: acc) [] g)
+
+let topology params rng =
+  if Rng.float rng 1.0 < params.transit_stub_share then begin
+    let p =
+      {
+        Transit_stub.transit_domains = 1 + Rng.int rng 2;
+        transit_nodes_per_domain = 2 + Rng.int rng 2;
+        stubs_per_transit_node = 1;
+        stub_nodes = 2 + Rng.int rng 3;
+        stub_alpha = 0.6;
+        stub_beta = 0.6;
+      }
+    in
+    (Transit_stub.generate rng p).Transit_stub.graph
+  end
+  else begin
+    let n = params.min_nodes + Rng.int rng (params.max_nodes - params.min_nodes + 1) in
+    let alpha = 0.15 +. Rng.float rng 0.3 in
+    let beta = 0.2 +. Rng.float rng 0.4 in
+    let link_delay = if Rng.bool rng then `Euclidean else `Unit in
+    (Waxman.generate ~link_delay rng ~n ~alpha ~beta).Waxman.graph
+  end
+
+(* The schedule model tracks intended membership and failed elements so the
+   draw is mostly applicable; the executor's skip logic covers the rest
+   (e.g. joins that active failures have disconnected). *)
+let schedule params rng ~n ~edge_count ~source =
+  let members = Hashtbl.create 16 in
+  let failed_links = Hashtbl.create 8 in
+  let failed_nodes = Hashtbl.create 8 in
+  let len = 4 + Rng.int rng (max 1 (params.max_events - 3)) in
+  let fresh_node () =
+    let candidates =
+      List.filter
+        (fun v -> v <> source && (not (Hashtbl.mem members v)) && not (Hashtbl.mem failed_nodes v))
+        (List.init n Fun.id)
+    in
+    match candidates with [] -> None | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let some_member () =
+    match Hashtbl.fold (fun m () acc -> m :: acc) members [] with
+    | [] -> None
+    | l -> Some (List.nth (List.sort compare l) (Rng.int rng (List.length l)))
+  in
+  let fresh_link () =
+    if edge_count = 0 || Hashtbl.length failed_links >= max 1 (edge_count / 4) then None
+    else begin
+      let e = Rng.int rng edge_count in
+      if Hashtbl.mem failed_links e then None else Some e
+    end
+  in
+  let fail_element () =
+    (* 2/3 links, 1/3 nodes; node failures may hit members (the Lost path). *)
+    if Rng.int rng 3 < 2 then
+      match fresh_link () with
+      | Some e ->
+          Hashtbl.replace failed_links e ();
+          Some ([ e ], [])
+      | None -> None
+    else begin
+      let v = Rng.int rng n in
+      if v = source || Hashtbl.mem failed_nodes v then None
+      else begin
+        Hashtbl.replace failed_nodes v ();
+        Hashtbl.remove members v;
+        Some ([], [ v ])
+      end
+    end
+  in
+  let join () =
+    match fresh_node () with
+    | Some v ->
+        Hashtbl.replace members v ();
+        Some (Case.Join v)
+    | None -> None
+  in
+  let event i =
+    (* Open every schedule with churn so failures have a tree to break. *)
+    let roll = if i < 2 then 0 else Rng.int rng 100 in
+    if roll < 45 then join ()
+    else if roll < 60 then
+      match some_member () with
+      | Some m ->
+          Hashtbl.remove members m;
+          Some (Case.Leave m)
+      | None -> join ()
+    else if roll < 78 then
+      match fail_element () with
+      | Some (links, nodes) -> Some (Case.Fail { links; nodes })
+      | None -> join ()
+    else if roll < 85 then begin
+      (* Correlated double failure. *)
+      match (fail_element (), fail_element ()) with
+      | Some (l1, n1), Some (l2, n2) -> Some (Case.Fail { links = l1 @ l2; nodes = n1 @ n2 })
+      | Some (links, nodes), None | None, Some (links, nodes) ->
+          Some (Case.Fail { links; nodes })
+      | None, None -> join ()
+    end
+    else Some Case.Reshape
+  in
+  List.filter_map event (List.init len Fun.id)
+
+let case ?(params = default) rng =
+  let g = topology params rng in
+  let n = Graph.node_count g in
+  let edges = edges_of_graph g in
+  let source = Rng.int rng n in
+  let protocol =
+    match Rng.int rng 10 with
+    | 0 | 1 -> Case.Spf
+    | 2 | 3 -> Case.Smrp_query
+    | _ -> Case.Smrp
+  in
+  let d_thresh = Rng.pick rng [| 0.0; 0.1; 0.3; 0.3; 0.5 |] in
+  let events = schedule params rng ~n ~edge_count:(List.length edges) ~source in
+  { Case.n; edges; source; protocol; d_thresh; events }

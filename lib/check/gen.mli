@@ -1,0 +1,22 @@
+(** Seeded random case generation.
+
+    Topologies mix the paper's two families — flat Waxman graphs and small
+    GT-ITM-style transit–stub hierarchies — and event schedules mix join and
+    leave churn, single and correlated link/node failures, and Condition-II
+    reshape timer fires.  The schedule is drawn against a lightweight
+    membership model so most events are applicable; the executor skips the
+    rest.  Everything is a pure function of the supplied {!Smrp_rng.Rng.t},
+    so one root seed reproduces a whole campaign. *)
+
+type params = {
+  min_nodes : int;  (** Waxman node-count floor (default 8). *)
+  max_nodes : int;  (** Waxman node-count ceiling (default 36). *)
+  max_events : int;  (** Schedule length ceiling (default 24). *)
+  transit_stub_share : float;
+      (** Probability of drawing a transit–stub topology instead of a flat
+          Waxman one (default 0.25). *)
+}
+
+val default : params
+
+val case : ?params:params -> Smrp_rng.Rng.t -> Case.t

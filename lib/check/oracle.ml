@@ -1,0 +1,210 @@
+module Graph = Smrp_graph.Graph
+module Dijkstra = Smrp_graph.Dijkstra
+module Paths = Smrp_graph.Paths
+module Tree = Smrp_core.Tree
+module Failure = Smrp_core.Failure
+module Recovery = Smrp_core.Recovery
+module Session = Smrp_core.Session
+
+type violation = { oracle : string; message : string }
+
+let violation oracle fmt = Format.kasprintf (fun message -> Some { oracle; message }) fmt
+
+(* Delays accumulate in different association orders on the two sides of a
+   differential check (Dijkstra sums from the joiner outward, the tree from
+   the merge point down), so float comparisons get a small absolute slack. *)
+let eps = 1e-6
+
+(* -- From-scratch recomputation ---------------------------------------- *)
+
+let recompute_n_r t =
+  let n = Graph.node_count (Tree.graph t) in
+  let a = Array.make n 0 in
+  List.iter
+    (fun m -> List.iter (fun v -> a.(v) <- a.(v) + 1) (Tree.path_to_source t m))
+    (Tree.members t);
+  a
+
+let recompute_shr t =
+  let n_r = recompute_n_r t in
+  let n = Graph.node_count (Tree.graph t) in
+  let a = Array.make n 0 in
+  let source = Tree.source t in
+  List.iter
+    (fun v ->
+      a.(v) <-
+        List.fold_left
+          (fun acc r -> if r = source then acc else acc + n_r.(r))
+          0 (Tree.path_to_source t v))
+    (Tree.on_tree_nodes t);
+  a
+
+(* -- Structural oracles ------------------------------------------------- *)
+
+let structure t =
+  match Tree.validate t with
+  | Ok () -> None
+  | Error msg -> violation "structure" "%s" msg
+
+let members_connected t =
+  let source = Tree.source t in
+  let rec check = function
+    | [] -> None
+    | m :: rest ->
+        if not (Tree.is_on_tree t m) then violation "members-connected" "member %d is off-tree" m
+        else begin
+          match List.rev (Tree.path_to_source t m) with
+          | last :: _ when last = source -> check rest
+          | _ -> violation "members-connected" "member %d's tree path misses the source" m
+        end
+  in
+  check (Tree.members t)
+
+let bookkeeping t =
+  let n_r = recompute_n_r t in
+  let shr = recompute_shr t in
+  let n = Graph.node_count (Tree.graph t) in
+  let rec check v =
+    if v >= n then None
+    else if Tree.subtree_members t v <> n_r.(v) then
+      violation "bookkeeping" "node %d records N_R = %d, recomputation says %d" v
+        (Tree.subtree_members t v) n_r.(v)
+    else if Tree.is_on_tree t v && Tree.shr t v <> shr.(v) then
+      violation "bookkeeping" "node %d reports SHR = %d, recomputation says %d" v (Tree.shr t v)
+        shr.(v)
+    else check (v + 1)
+  in
+  check 0
+
+let avoids_failure t f =
+  let g = Tree.graph t in
+  let bad_node = List.find_opt (fun v -> not (Failure.node_ok f v)) (Tree.on_tree_nodes t) in
+  match bad_node with
+  | Some v -> violation "avoids-failure" "failed node %d is on the tree" v
+  | None -> (
+      match List.find_opt (fun e -> not (Failure.edge_ok g f e)) (Tree.tree_edges t) with
+      | Some e -> violation "avoids-failure" "failed link %d carries the tree" e
+      | None -> None)
+
+(* -- Join differential oracle ------------------------------------------- *)
+
+type naive_candidate = { merge : int; attach_delay : float; total_delay : float; shr : int }
+
+let naive_candidates ?failure t ~joiner =
+  let g = Tree.graph t in
+  let alive v = match failure with None -> true | Some f -> Failure.node_ok f v in
+  let absorb v = Tree.is_on_tree t v && alive v in
+  let result =
+    match failure with
+    | None -> Dijkstra.run_reference ~absorb g ~source:joiner
+    | Some f ->
+        Dijkstra.run_reference ~node_ok:alive
+          ~edge_ok:(fun e -> Failure.edge_ok g f e)
+          ~absorb g ~source:joiner
+  in
+  let shr = recompute_shr t in
+  let acc = ref [] in
+  for merge = Graph.node_count g - 1 downto 0 do
+    if merge <> joiner && absorb merge && Dijkstra.reachable result merge then begin
+      let attach_delay = Option.get (Dijkstra.distance result merge) in
+      acc :=
+        {
+          merge;
+          attach_delay;
+          total_delay = attach_delay +. Tree.delay_to_source t merge;
+          shr = shr.(merge);
+        }
+        :: !acc
+    end
+  done;
+  !acc
+
+(* Mirrors [Smrp.join_where]'s selection loop — including its exact epsilon
+   and tie-breaks — over the naive candidate list (already in ascending
+   merge order). *)
+let naive_select ~d_thresh ~spf_distance cands =
+  let bound_epsilon = 1e-9 in
+  let bound = ((1.0 +. d_thresh) *. spf_distance) +. bound_epsilon in
+  let best = ref None in
+  let fallback = ref None in
+  List.iter
+    (fun c ->
+      (match !fallback with
+      | Some f when f.total_delay <= c.total_delay -> ()
+      | _ -> fallback := Some c);
+      if c.total_delay <= bound then begin
+        match !best with
+        | None -> best := Some c
+        | Some b ->
+            if
+              c.shr < b.shr
+              || (c.shr = b.shr && c.total_delay < b.total_delay -. bound_epsilon)
+            then best := Some c
+      end)
+    cands;
+  match !best with Some _ as b -> b | None -> !fallback
+
+(* -- Repair oracle ------------------------------------------------------ *)
+
+let sorted_edges t = List.sort compare (Tree.tree_edges t)
+
+let repair_replay ~pre ~failure ~repairs ~post ~lost =
+  let g = Tree.graph pre in
+  let affected = Failure.affected_members pre failure in
+  let dead = List.filter (fun m -> not (Failure.node_ok failure m)) (Tree.members pre) in
+  let repaired = List.map (fun r -> r.Session.detour.Recovery.member) repairs in
+  let replay = Recovery.surviving_tree pre failure in
+  let rec apply = function
+    | [] -> None
+    | { Session.detour = d; _ } :: rest ->
+        let m = d.Recovery.member in
+        let rd = Paths.delay_of_edges g d.Recovery.path_edges in
+        if abs_float (d.Recovery.recovery_distance -. rd) > eps then
+          violation "recovery-distance"
+            "member %d reports RD = %g but its new links sum to %g" m
+            d.Recovery.recovery_distance rd
+        else if List.exists (fun v -> not (Failure.node_ok failure v)) d.Recovery.path_nodes then
+          violation "recovery-distance" "member %d's detour crosses a failed node" m
+        else if
+          List.exists (fun e -> not (Failure.edge_ok g failure e)) d.Recovery.path_edges
+        then violation "recovery-distance" "member %d's detour crosses a failed link" m
+        else begin
+          let current = Tree.tree_edges replay in
+          match List.find_opt (fun e -> List.mem e current) d.Recovery.path_edges with
+          | Some e ->
+              violation "recovery-distance"
+                "member %d's RD counts link %d which the tree already carries" m e
+          | None -> (
+              match
+                (match d.Recovery.path_edges with
+                | [] -> Tree.add_member replay m
+                | _ ->
+                    Tree.graft replay
+                      ~nodes:(List.rev d.Recovery.path_nodes)
+                      ~edges:(List.rev d.Recovery.path_edges);
+                    Tree.add_member replay m)
+              with
+              | () -> apply rest
+              | exception Invalid_argument msg ->
+                  violation "recovery-replay" "replaying member %d's repair failed: %s" m msg)
+        end
+  in
+  match apply repairs with
+  | Some _ as v -> v
+  | None ->
+      if sorted_edges replay <> sorted_edges post then
+        violation "recovery-replay" "replayed repair yields a different tree edge set"
+      else if Tree.members replay <> Tree.members post then
+        violation "recovery-replay" "replayed repair yields a different member set"
+      else begin
+        (* Conservation: every pre-failure member is exactly one of repaired,
+           lost, dead, or untouched-and-still-served. *)
+        let expected_gone = List.sort compare (affected @ dead) in
+        let actual_gone = List.sort compare (repaired @ lost) in
+        if expected_gone <> actual_gone then
+          violation "recovery-accounting"
+            "affected+dead members %s but repaired+lost %s"
+            (String.concat "," (List.map string_of_int expected_gone))
+            (String.concat "," (List.map string_of_int actual_gone))
+        else None
+      end

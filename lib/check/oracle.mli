@@ -1,0 +1,76 @@
+(** Invariant oracles for the fuzzing harness.
+
+    Every oracle recomputes its ground truth from scratch, independently of
+    the incremental bookkeeping the protocol stack maintains (the SHR cache,
+    [N_R] counters, cached delays, CSR Dijkstra): an oracle that trusted the
+    hot path it is auditing would be worthless.  The differential oracles
+    therefore run on {!Smrp_graph.Dijkstra.run_reference}, the retained
+    pre-CSR implementation. *)
+
+type violation = { oracle : string; message : string }
+
+(** {2 From-scratch recomputation} *)
+
+val recompute_n_r : Smrp_core.Tree.t -> int array
+(** [N_R] per node, recomputed by walking every member's tree path (Eq. 1
+    ground truth); zero off-tree. *)
+
+val recompute_shr : Smrp_core.Tree.t -> int array
+(** [SHR(S,R)] per Eq. 2 over {!recompute_n_r}; meaningful for on-tree
+    nodes. *)
+
+(** {2 Structural oracles} (run after every event) *)
+
+val structure : Smrp_core.Tree.t -> violation option
+(** {!Smrp_core.Tree.validate}: acyclic, source-rooted, parent/child and
+    delay consistency, pruning discipline. *)
+
+val members_connected : Smrp_core.Tree.t -> violation option
+(** Every member is on-tree and its tree path ends at the source. *)
+
+val bookkeeping : Smrp_core.Tree.t -> violation option
+(** The tree's incremental [N_R] and [SHR] equal the from-scratch
+    recomputation, node by node. *)
+
+val avoids_failure : Smrp_core.Tree.t -> Smrp_core.Failure.t -> violation option
+(** No failed node or link is part of the tree (persistent failures must
+    never be routed through by joins, repairs or reshaping). *)
+
+(** {2 Join differential oracle} *)
+
+type naive_candidate = {
+  merge : int;
+  attach_delay : float;
+  total_delay : float;
+  shr : int;
+}
+
+val naive_candidates :
+  ?failure:Smrp_core.Failure.t -> Smrp_core.Tree.t -> joiner:int -> naive_candidate list
+(** The exhaustive merge-point scan of §3.2.1, computed with the reference
+    Dijkstra and the recomputed SHR: one candidate per on-tree node
+    admitting a tree-avoiding connection, ordered by merge id. *)
+
+val naive_select :
+  d_thresh:float -> spf_distance:float -> naive_candidate list -> naive_candidate option
+(** The Path Selection Criterion replicated naively (bound filter, then
+    minimise [(SHR, delay, id)]; fallback to lowest delay), mirroring
+    [Smrp.select]/[Smrp.join_where] tie-break for tie-break. *)
+
+(** {2 Repair oracle} *)
+
+val repair_replay :
+  pre:Smrp_core.Tree.t ->
+  failure:Smrp_core.Failure.t ->
+  repairs:Smrp_core.Session.repair list ->
+  post:Smrp_core.Tree.t ->
+  lost:int list ->
+  violation option
+(** Audit one {!Smrp_core.Session.fail} episode against the pre-failure tree:
+
+    - each detour's [RD_R] equals the delay over its own path edges;
+    - each detour uses only surviving nodes/links, and only links that are
+      {e new} at the moment it grafts (replaying the staged repair from a
+      freshly rebuilt surviving tree);
+    - the replayed tree matches [post] edge-for-edge and member-for-member;
+    - members are conserved: repaired + lost = affected + dead. *)

@@ -1,0 +1,165 @@
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let drop n l = List.filteri (fun i _ -> i >= n) l
+
+(* -- Event passes ------------------------------------------------------- *)
+
+let without_events case i count =
+  {
+    case with
+    Case.events = take i case.Case.events @ drop (i + count) case.Case.events;
+  }
+
+(* Chunked greedy deletion: larger chunks first so long schedules collapse
+   in few predicate calls, then singles to a local fixpoint. *)
+let shrink_events ~fails case =
+  let rec pass case chunk =
+    let len = List.length case.Case.events in
+    if chunk < 1 then case
+    else begin
+      let rec scan case i =
+        if i + chunk > List.length case.Case.events then case
+        else begin
+          let candidate = without_events case i chunk in
+          if fails candidate then scan candidate i else scan case (i + 1)
+        end
+      in
+      let case = scan case 0 in
+      pass case (if chunk > len / 2 then len / 2 else chunk / 2)
+    end
+  in
+  let len = List.length case.Case.events in
+  if len = 0 then case else pass case (max 1 (len / 2))
+
+(* Split correlated failures: try each single element of a multi-element
+   Fail event. *)
+let shrink_fail_elements ~fails case =
+  let try_replace case i ev =
+    let events = List.mapi (fun j e -> if j = i then ev else e) case.Case.events in
+    let candidate = { case with Case.events } in
+    if fails candidate then Some candidate else None
+  in
+  let rec go case i =
+    if i >= List.length case.Case.events then case
+    else begin
+      match List.nth case.Case.events i with
+      | Case.Fail { links; nodes } when List.length links + List.length nodes > 1 ->
+          let singles =
+            List.map (fun l -> Case.Fail { links = [ l ]; nodes = [] }) links
+            @ List.map (fun v -> Case.Fail { links = []; nodes = [ v ] }) nodes
+          in
+          let rec first = function
+            | [] -> go case (i + 1)
+            | ev :: rest -> (
+                match try_replace case i ev with
+                | Some candidate -> go candidate (i + 1)
+                | None -> first rest)
+          in
+          first singles
+      | _ -> go case (i + 1)
+    end
+  in
+  go case 0
+
+(* -- Edge pass ---------------------------------------------------------- *)
+
+(* Removing edge [e] renumbers every id above it; failure events referencing
+   [e] itself lose that element (and disappear when emptied). *)
+let without_edge case e =
+  let edges = List.filteri (fun i _ -> i <> e) case.Case.edges in
+  let remap l = List.filter_map (fun l' -> if l' = e then None else Some (if l' > e then l' - 1 else l')) l in
+  let events =
+    List.filter_map
+      (fun ev ->
+        match ev with
+        | Case.Fail { links; nodes } ->
+            let links = remap links in
+            if links = [] && nodes = [] then None else Some (Case.Fail { links; nodes })
+        | other -> Some other)
+      case.Case.events
+  in
+  { case with Case.edges; events }
+
+let shrink_edges ~fails case =
+  let rec go case e =
+    if e < 0 then case
+    else begin
+      let candidate = without_edge case e in
+      if fails candidate then go candidate (e - 1) else go case (e - 1)
+    end
+  in
+  go case (List.length case.Case.edges - 1)
+
+(* -- Node pass ---------------------------------------------------------- *)
+
+let referenced_nodes case =
+  let used = Array.make case.Case.n false in
+  used.(case.Case.source) <- true;
+  List.iter
+    (fun (u, v, _) ->
+      used.(u) <- true;
+      used.(v) <- true)
+    case.Case.edges;
+  List.iter
+    (fun ev ->
+      match ev with
+      | Case.Join v | Case.Leave v -> used.(v) <- true
+      | Case.Fail { nodes; _ } -> List.iter (fun v -> used.(v) <- true) nodes
+      | Case.Reshape -> ())
+    case.Case.events;
+  used
+
+let compact_nodes ~fails case =
+  let used = referenced_nodes case in
+  let n' = Array.fold_left (fun acc u -> if u then acc + 1 else acc) 0 used in
+  if n' = case.Case.n then case
+  else begin
+    let remap = Array.make case.Case.n (-1) in
+    let next = ref 0 in
+    Array.iteri
+      (fun v u ->
+        if u then begin
+          remap.(v) <- !next;
+          incr next
+        end)
+      used;
+    let candidate =
+      {
+        case with
+        Case.n = n';
+        source = remap.(case.Case.source);
+        edges = List.map (fun (u, v, d) -> (remap.(u), remap.(v), d)) case.Case.edges;
+        events =
+          List.map
+            (fun ev ->
+              match ev with
+              | Case.Join v -> Case.Join remap.(v)
+              | Case.Leave v -> Case.Leave remap.(v)
+              | Case.Fail { links; nodes } ->
+                  Case.Fail { links; nodes = List.map (fun v -> remap.(v)) nodes }
+              | Case.Reshape -> Case.Reshape)
+            case.Case.events;
+      }
+    in
+    if fails candidate then candidate else case
+  end
+
+(* -- Driver ------------------------------------------------------------- *)
+
+let size case = (List.length case.Case.events, List.length case.Case.edges, case.Case.n)
+
+let shrink ~fails case =
+  if not (fails case) then case
+  else begin
+    let rec fixpoint case iterations =
+      if iterations = 0 then case
+      else begin
+        let case' =
+          case |> shrink_events ~fails |> shrink_fail_elements ~fails |> shrink_edges ~fails
+          |> compact_nodes ~fails
+        in
+        if size case' = size case then case' else fixpoint case' (iterations - 1)
+      end
+    in
+    fixpoint case 8
+  end

@@ -308,6 +308,11 @@ let attach_branch t br ~nodes ~edges =
   | [] -> assert false);
   iter_up t t.parent.(node) (fun r -> t.n_r.(r) <- t.n_r.(r) + br.nsub)
 
+let unsafe_tweak_subtree_members t v delta =
+  check_node t v "unsafe_tweak_subtree_members";
+  t.n_r.(v) <- t.n_r.(v) + delta;
+  t.shr_valid <- false
+
 let validate t =
   let n = Graph.node_count t.graph in
   let fail fmt = Format.kasprintf (fun s -> Error s) fmt in

@@ -120,4 +120,13 @@ val validate : t -> (unit, string) result
 (** Full invariant audit (acyclicity, count and delay consistency, pruning
     discipline, edge existence); used by tests and property checks. *)
 
+val unsafe_tweak_subtree_members : t -> int -> int -> unit
+(** [unsafe_tweak_subtree_members t v delta] adds [delta] to the recorded
+    [N_R] of node [v] without updating any other bookkeeping, deliberately
+    desynchronising the Eq. 1/2 state from the actual membership.  This is a
+    fault-injection hook for the {!Smrp_check} harness (emulating a router
+    that drops an [N_R] update); {!validate} and the check oracles exist to
+    catch exactly this corruption.  Never call it outside a test or fuzzing
+    context. *)
+
 val pp : Format.formatter -> t -> unit

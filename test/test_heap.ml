@@ -110,6 +110,41 @@ let capacity_pre_sizing () =
   Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "pre-sized"
     (Some (1.0, 1.0)) (Heap.pop_min h)
 
+let duplicate_keys_all_values_survive () =
+  (* Regression for the sift-up bug where an element equal to its parent
+     could shadow it: under heavy key duplication every inserted value must
+     still come back out, exactly once, keys non-decreasing. *)
+  let h = Heap.create ~capacity:1 () in
+  let n = 200 in
+  for i = 0 to n - 1 do
+    Heap.add h (float_of_int (i mod 3)) i
+  done;
+  let seen = Array.make n false in
+  let rec drain last count =
+    match Heap.pop_min h with
+    | None -> count
+    | Some (p, v) ->
+        check "non-decreasing" true (p >= last);
+        check "value popped once" false seen.(v);
+        seen.(v) <- true;
+        drain p (count + 1)
+  in
+  check_int "every value recovered" n (drain neg_infinity 0);
+  check "drained" true (Heap.is_empty h)
+
+let pop_after_drain_and_reuse () =
+  (* Popping past empty is a stable no-op, and the drained heap is fully
+     reusable — no stale storage from the previous episode. *)
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.add h p p) [ 2.0; 1.0 ];
+  ignore (Heap.pop_min h);
+  ignore (Heap.pop_min h);
+  check "pop past empty" true (Heap.pop_min h = None);
+  check "still none" true (Heap.pop_min h = None);
+  Heap.add h 3.0 3.0;
+  Alcotest.(check (option (pair (float 0.0) (float 0.0))))
+    "reusable after drain" (Some (3.0, 3.0)) (Heap.pop_min h)
+
 (* -- Int_heap: the unboxed heap behind the Dijkstra workspace ---------- *)
 
 let int_heap_pops_in_order () =
@@ -149,6 +184,28 @@ let int_heap_clear_reuses () =
   List.iter (fun v -> Int_heap.add h 1.0 v) [ 4; 5 ];
   let order = List.init 2 (fun _ -> snd (Option.get (Int_heap.pop_min h))) in
   check_ilist "fifo after clear" [ 4; 5 ] order
+
+let int_heap_duplicate_keys_and_empty_pop () =
+  let h = Int_heap.create ~capacity:1 () in
+  check "pop on fresh heap" true (Int_heap.pop_min h = None);
+  let n = 200 in
+  for i = 0 to n - 1 do
+    Int_heap.add h (float_of_int (i mod 3)) i
+  done;
+  let seen = Array.make n false in
+  let rec drain last count =
+    match Int_heap.pop_min h with
+    | None -> count
+    | Some (p, v) ->
+        check "non-decreasing" true (p >= last);
+        check "value popped once" false seen.(v);
+        seen.(v) <- true;
+        drain p (count + 1)
+  in
+  check_int "every value recovered" n (drain neg_infinity 0);
+  check "pop past empty" true (Int_heap.pop_min h = None);
+  Int_heap.add h 1.0 7;
+  check_int "reusable after drain" 7 (snd (Option.get (Int_heap.pop_min h)))
 
 (* Differential check against the generic heap: identical pop sequences on
    random workloads, including equal priorities — Dijkstra's determinism
@@ -190,6 +247,9 @@ let () =
           Alcotest.test_case "empty pops" `Quick empty_pops;
           Alcotest.test_case "clear resets" `Quick clear_resets;
           Alcotest.test_case "capacity pre-sizing" `Quick capacity_pre_sizing;
+          Alcotest.test_case "duplicate keys keep every value" `Quick
+            duplicate_keys_all_values_survive;
+          Alcotest.test_case "pop after drain and reuse" `Quick pop_after_drain_and_reuse;
         ] );
       ( "int_heap",
         [
@@ -197,6 +257,8 @@ let () =
           Alcotest.test_case "fifo on ties" `Quick int_heap_fifo_on_ties;
           Alcotest.test_case "top and drop" `Quick int_heap_top_and_drop;
           Alcotest.test_case "clear reuses storage" `Quick int_heap_clear_reuses;
+          Alcotest.test_case "duplicate keys and empty pops" `Quick
+            int_heap_duplicate_keys_and_empty_pop;
         ] );
       ( "properties",
         [

@@ -130,6 +130,68 @@ let global_merges_on_surviving_structure () =
   let l = Option.get (Recovery.local_detour t fail ~member:8) in
   check_float "local finds the same here" 2.0 l.Recovery.recovery_distance
 
+(* -- Session-level repair (isolated members, correlated failures) ------ *)
+
+module Session = Smrp_core.Session
+
+let session_isolated_member_is_lost () =
+  (* 0-1-2 line with a pendant 3 off node 1.  Killing link 1-2 leaves
+     member 2 with no surviving path to any node at all: the session must
+     drop it, log [Lost], and keep the unaffected member 3 intact. *)
+  let g = Graph.create 4 in
+  let e01 = Graph.add_edge g 0 1 1.0 in
+  let e12 = Graph.add_edge g 1 2 1.0 in
+  let _e13 = Graph.add_edge g 1 3 1.0 in
+  ignore e01;
+  let s = Session.create g ~source:0 ~protocol:(Session.Smrp { d_thresh = 0.3 }) in
+  Session.join s 2;
+  Session.join s 3;
+  let repairs = Session.fail s (Failure.Link e12) in
+  check "nothing repairable" true (repairs = []);
+  check "lost event logged" true (List.mem (Session.Lost 2) (Session.events s));
+  let t = Session.tree s in
+  check "member 2 dropped" false (Tree.is_member t 2);
+  check "member 3 kept" true (Tree.is_member t 3);
+  check_int "one member left" 1 (Tree.member_count t);
+  (match Tree.validate t with Ok () -> () | Error e -> Alcotest.fail e)
+
+let session_correlated_two_link_failure () =
+  (* Correlated (SRLG-style) double failure on the 3x3 grid: both failed
+     links sit on member 8's tree path, so a single-failure repair would
+     route straight into the second fault.  The repair must avoid both at
+     once: 8 detours via 5 to the surviving branch at 2. *)
+  let g = Fixtures.grid 3 in
+  let t = Tree.create g ~source:0 in
+  Tree.graft t ~nodes:[ 0; 1; 2 ] ~edges:[ edge g 0 1; edge g 1 2 ];
+  Tree.add_member t 2;
+  Tree.graft t ~nodes:[ 0; 3; 6; 7; 8 ] ~edges:[ edge g 0 3; edge g 3 6; edge g 6 7; edge g 7 8 ];
+  Tree.add_member t 8;
+  let f = Failure.Multi [ Failure.Link (edge g 0 3); Failure.Link (edge g 7 8) ] in
+  let d = Option.get (Recovery.local_detour t f ~member:8) in
+  check_ilist "detour threads between both faults" [ 8; 5; 2 ] d.Recovery.path_nodes;
+  check_float "RD counts both new links" 2.0 d.Recovery.recovery_distance;
+  (* The same episode through the Session façade: one repair, no losses,
+     and the rebuilt tree avoids both failed links. *)
+  let s = Session.create g ~source:0 ~protocol:(Session.Smrp { d_thresh = 0.3 }) in
+  Session.join s 2;
+  Session.join s 8;
+  let repairs = Session.fail s f in
+  check_int "one member repaired" 1 (List.length repairs);
+  check "no members lost" true
+    (List.for_all (function Session.Lost _ -> false | _ -> true) (Session.events s));
+  let t' = Session.tree s in
+  check "both members still served" true (Tree.is_member t' 2 && Tree.is_member t' 8);
+  List.iter
+    (fun eid ->
+      List.iter
+        (fun v ->
+          match Tree.parent_edge t' v with
+          | Some e -> check "failed link not on tree" false (e = eid)
+          | None -> ())
+        (Tree.on_tree_nodes t'))
+    [ edge g 0 3; edge g 7 8 ];
+  (match Tree.validate t' with Ok () -> () | Error e -> Alcotest.fail e)
+
 (* -- surviving_tree ---------------------------------------------------- *)
 
 let surviving_tree_contents () =
@@ -238,6 +300,12 @@ let () =
           Alcotest.test_case "dead member" `Quick dead_member_gets_none;
           Alcotest.test_case "global counts new links" `Quick global_counts_only_new_links;
           Alcotest.test_case "global merges on survivors" `Quick global_merges_on_surviving_structure;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "isolated member is lost" `Quick session_isolated_member_is_lost;
+          Alcotest.test_case "correlated two-link failure" `Quick
+            session_correlated_two_link_failure;
         ] );
       ( "surviving_tree",
         [

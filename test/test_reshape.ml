@@ -96,6 +96,72 @@ let condition_i_counts_switches () =
   check_int "one switch (E)" 1 switches;
   assert_valid t
 
+let condition_i_threshold_boundary () =
+  (* §3.2.3 Condition I fires on drift {e strictly greater} than the
+     threshold: a node whose SHR grew by exactly [k] must stay quiet at
+     [threshold = k] and fire at [threshold = k - 1]. *)
+  let f = Fixtures.fig4 () in
+  let t = Tree.create f.Fixtures.graph ~source:f.Fixtures.s in
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.e;
+  let m = Reshape.monitor t in
+  let shr_old = Array.of_list (List.map (Tree.shr t) (Tree.on_tree_nodes t)) in
+  let nodes_old = Array.of_list (Tree.on_tree_nodes t) in
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.g;
+  Smrp.join ~d_thresh:0.3 t f.Fixtures.f;
+  let checked = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if Tree.is_on_tree t v then begin
+        let drift = Tree.shr t v - shr_old.(i) in
+        if drift > 0 then begin
+          incr checked;
+          check "below the drift it fires" true
+            (List.mem v (Reshape.drifted m t ~threshold:(drift - 1)));
+          check "exactly at the drift it stays quiet" false
+            (List.mem v (Reshape.drifted m t ~threshold:drift))
+        end
+      end)
+    nodes_old;
+  check "some node actually drifted" true (!checked > 0)
+
+(* A 4-node scene where reshaping wants the link that just failed: member 2
+   hangs off the slow branch 0-3-2 (delay 6) while 0-1-2 (delay 2) exists. *)
+let slow_branch_scene () =
+  let g = Graph.create 4 in
+  let _e01 = Graph.add_edge g 0 1 1.0 in
+  let e12 = Graph.add_edge g 1 2 1.0 in
+  let e03 = Graph.add_edge g 0 3 1.0 in
+  let e32 = Graph.add_edge g 3 2 5.0 in
+  let t = Tree.create g ~source:0 in
+  Tree.graft t ~nodes:[ 0; 3; 2 ] ~edges:[ e03; e32 ];
+  Tree.add_member t 2;
+  (g, t, e12)
+
+let condition_ii_respects_concurrent_failure () =
+  (* Without a failure the Condition-II sweep switches member 2 onto the
+     fast path through node 1... *)
+  let _, t, _ = slow_branch_scene () in
+  let stats = Reshape.stabilize ~d_thresh:0.3 t in
+  check "switches to the fast path" true (stats.Reshape.switches >= 1);
+  check "now relayed by 1" true (Tree.is_on_tree t 1);
+  assert_valid t;
+  (* ...but when the timer fires while link 1-2 is down, the sweep must not
+     route through the failed component: the member stays on the slow
+     branch and the tree never touches the dead link. *)
+  let module Failure = Smrp_core.Failure in
+  let g, t, e12 = slow_branch_scene () in
+  let failure = Failure.Link e12 in
+  let stats = Reshape.stabilize ~d_thresh:0.3 ~failure t in
+  check_int "no switch available" 0 stats.Reshape.switches;
+  check "member still served" true (Tree.is_member t 2);
+  List.iter
+    (fun v ->
+      match Tree.parent_edge t v with
+      | Some e -> check "dead link untouched" true (Failure.edge_ok g failure e)
+      | None -> ())
+    (Tree.on_tree_nodes t);
+  assert_valid t
+
 let reshape_respects_bound () =
   (* After any reshape, each member still satisfies its D_thresh bound
      unless it was attached by fallback; with a connected Waxman graph and
@@ -146,6 +212,12 @@ let () =
         [
           Alcotest.test_case "monitor tracks drift" `Quick monitor_tracks_drift;
           Alcotest.test_case "counts switches" `Quick condition_i_counts_switches;
+          Alcotest.test_case "threshold boundary is strict" `Quick condition_i_threshold_boundary;
+        ] );
+      ( "condition_ii",
+        [
+          Alcotest.test_case "timer sweep respects a concurrent failure" `Quick
+            condition_ii_respects_concurrent_failure;
         ] );
       ( "properties",
         [
