@@ -22,11 +22,26 @@ let load what path =
       Printf.eprintf "error: %s file %s: %s\n%!" what path msg;
       exit 2
 
+(* History lines for the trend summary; a missing or unreadable file is not
+   an error (fresh checkouts have no history). *)
+let read_history path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec lines acc =
+        match input_line ic with
+        | line -> lines (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> Some (lines []))
+
 let () =
   let results = ref "BENCH_RESULTS.json" in
   let baseline = ref "bench/BASELINE.json" in
   let quick = ref false in
   let write_baseline = ref "" in
+  let history = ref "BENCH_HISTORY.jsonl" in
+  let trend_window = ref 5 in
   let spec =
     [
       ("--results", Arg.Set_string results, "FILE results file (default BENCH_RESULTS.json)");
@@ -37,9 +52,19 @@ let () =
       ( "--write-baseline",
         Arg.Set_string write_baseline,
         "FILE derive a baseline from --results and write it to FILE, then exit" );
+      ( "--history",
+        Arg.Set_string history,
+        "FILE history file for the trend summary (default BENCH_HISTORY.jsonl; absent file: no \
+         summary)" );
+      ( "--trend-window",
+        Arg.Set_int trend_window,
+        "N history runs the trend summary considers (default 5)" );
     ]
   in
-  let usage = "check [--results FILE] [--baseline FILE] [--quick] [--write-baseline FILE]" in
+  let usage =
+    "check [--results FILE] [--baseline FILE] [--quick] [--write-baseline FILE] [--history FILE] \
+     [--trend-window N]"
+  in
   Arg.parse spec (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a))) usage;
   if !write_baseline <> "" then begin
     let b = Check_core.baseline_of_results (load "results" !results) in
@@ -55,5 +80,12 @@ let () =
         ~results:(load "results" !results) ()
     in
     print_string (Check_core.render ~quick:!quick report);
+    (* The trend summary rides along after the gate and never affects the
+       exit code. *)
+    Option.iter
+      (fun lines ->
+        print_newline ();
+        print_string (Check_core.trend ~window:!trend_window lines))
+      (read_history !history);
     exit (if Check_core.passed report then 0 else 1)
   end

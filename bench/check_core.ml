@@ -210,6 +210,68 @@ let render ?(quick = false) r =
   Buffer.add_string buf (if passed r then "\nPASS\n" else "\nFAIL\n");
   Buffer.contents buf
 
+(* -- History trends ------------------------------------------------------ *)
+
+(* Longitudinal summary over BENCH_HISTORY.jsonl: the latest run's micro
+   estimates against the mean of the preceding runs in the window.  Purely
+   informational — trends never gate. *)
+
+let last_n n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let trend ?(window = 5) lines =
+  let entries =
+    List.filter_map
+      (fun line ->
+        match J.parse line with
+        | v -> if J.member "micro_ns_per_run" v = None then None else Some v
+        | exception J.Parse_error _ -> None)
+      (List.filter (fun l -> String.trim l <> "") lines)
+  in
+  let entries = last_n window entries in
+  match List.rev entries with
+  | [] | [ _ ] ->
+      Printf.sprintf "Micro trends: need at least 2 history runs with estimates (have %d)\n"
+        (List.length entries)
+  | latest :: prior_rev ->
+      let prior = List.rev prior_rev in
+      let micro e =
+        match J.member "micro_ns_per_run" e with Some m -> J.obj_members m | None -> []
+      in
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf
+        (Printf.sprintf "Micro trends: latest vs mean of %d preceding run(s)\n\n" (List.length prior));
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s  %14s  %14s  %8s\n" "metric" "window mean" "latest" "delta");
+      List.iter
+        (fun (name, v) ->
+          match J.to_num v with
+          | None -> ()
+          | Some current ->
+              let history =
+                List.filter_map
+                  (fun e -> Option.bind (J.mem_path [ "micro_ns_per_run"; name ] e) J.to_num)
+                  prior
+              in
+              let line =
+                match history with
+                | [] -> Printf.sprintf "%-28s  %14s  %11.1f ns  %8s\n" name "-" current "new"
+                | _ ->
+                    let mean = List.fold_left ( +. ) 0.0 history /. float_of_int (List.length history) in
+                    let delta = if mean > 0.0 then (current -. mean) /. mean else 0.0 in
+                    let arrow =
+                      if delta > 0.05 then "(slower)"
+                      else if delta < -0.05 then "(faster)"
+                      else ""
+                    in
+                    Printf.sprintf "%-28s  %11.1f ns  %11.1f ns  %+7.1f%% %s\n" name mean current
+                      (100.0 *. delta) arrow
+              in
+              Buffer.add_string buf line)
+        (micro latest);
+      Buffer.contents buf
+
 (* -- Baseline derivation ------------------------------------------------ *)
 
 let default_tolerances =

@@ -44,3 +44,11 @@ val render : ?quick:bool -> report -> string
 val baseline_of_results : Bench_json.t -> Bench_json.t
 (** Derive a committable baseline from a results file: the workload
     section, the micro estimates, and default tolerances. *)
+
+val trend : ?window:int -> string list -> string
+(** Longitudinal micro-estimate summary from [BENCH_HISTORY.jsonl] lines
+    (oldest first, one JSON object per line; malformed or estimate-free
+    lines are skipped).  Considers the last [window] runs (default 5) and
+    renders, per metric of the latest run, the mean of the preceding runs,
+    the latest value, and the relative delta tagged [(slower)] / [(faster)]
+    outside ±5%.  Informational only — never part of the gate. *)

@@ -150,10 +150,52 @@ let workload () =
         | Metrics.Counter_value n -> [ (name, float_of_int n) ]
         | Metrics.Histogram_value { count; sum; _ } ->
             [ (name ^ ".count", float_of_int count); (name ^ ".sum", sum) ]
-        | Metrics.Gauge_value _ -> [])
+        | Metrics.Sketch_value s ->
+            [ (name ^ ".count", float_of_int s.Smrp_obs.Sketch.s_count); (name ^ ".sum", s.Smrp_obs.Sketch.s_sum) ]
+        | Metrics.Gauge_value _ | Metrics.Series_value _ -> [])
       (Metrics.snapshot m_par)
   in
   { digest = Digest.to_hex (Digest.string par); wl_metrics; seq_par_identical = true }
+
+(* -- Run report / dashboard -------------------------------------------- *)
+
+(* The report campaign at CI scale, run once sequentially and once on four
+   explicit domains.  Gates (both fatal): the two reports must serialize to
+   byte-identical JSON, and parsing that JSON back must reproduce it
+   exactly.  The HTML dashboard and the JSON land next to the other bench
+   artefacts for CI upload. *)
+let report () =
+  section "Run report (comparison dashboard; sequential vs 4-domain identity)";
+  let module Report = Smrp_obs.Report in
+  let module Dashboard = Smrp_experiments.Dashboard in
+  let seq = Dashboard.run ~jobs:1 Dashboard.quick in
+  let par = Dashboard.run ~jobs:4 Dashboard.quick in
+  let seq_s = Report.to_string seq in
+  let par_s = Report.to_string par in
+  if not (String.equal seq_s par_s) then begin
+    Printf.eprintf "FATAL: report: 4-domain report JSON differs from sequential\n%!";
+    exit 1
+  end;
+  (match Report.of_string par_s with
+  | round when String.equal (Report.to_string round) par_s -> ()
+  | _ ->
+      Printf.eprintf "FATAL: report: JSON round-trip is not the identity\n%!";
+      exit 1
+  | exception exn ->
+      Printf.eprintf "FATAL: report: emitted JSON does not parse back: %s\n%!"
+        (Printexc.to_string exn);
+      exit 1);
+  print_string (Report.render_ascii par);
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  write "BENCH_REPORT.json" (par_s ^ "\n");
+  write "BENCH_REPORT.html" (Report.render_html par);
+  Printf.printf
+    "\nwrote BENCH_REPORT.json and BENCH_REPORT.html (sequential/4-domain JSON identical, \
+     round-trip exact)\n"
 
 let traced_latency () =
   (* The same restoration-latency scenario with the observability layer
@@ -334,6 +376,7 @@ let () =
     scenarios (Pool.default_jobs ());
   figures ();
   extensions ();
+  report ();
   let w = workload () in
   let micro_rows = micro () in
   write_results ~workload:w ~micro_rows;

@@ -175,6 +175,8 @@ let profile_cmd =
   let module Trace = Smrp_obs.Trace in
   let module Profile = Smrp_obs.Profile in
   let module Pool = Smrp_experiments.Pool in
+  let module Dijkstra = Smrp_graph.Dijkstra in
+  let module Reshape = Smrp_core.Reshape in
   let run seed scenarios jobs trace_file =
     let prof = Profile.create () in
     let metrics = Metrics.create () in
@@ -186,7 +188,29 @@ let profile_cmd =
               Figures.Fig9.run ?jobs ~metrics ~seed ~scenarios ~degree_ten_row:false ()))
     in
     let rendered = Profile.phase prof "fig9.render" (fun () -> Figures.Fig9.render rows) in
+    (* Condition-II reshape sweeps on a few freshly built trees: the
+       per-round counters and wall-time sketches land in the shared
+       registry, the per-round/per-sweep spans in the trace. *)
+    let reshape_stats =
+      Profile.phase prof "reshape.stabilize" (fun () ->
+          List.map
+            (fun s ->
+              let sc = Scenario.run { Scenario.default with Scenario.seed = s } in
+              let tree = sc.Scenario.smrp_tree in
+              let ws =
+                Dijkstra.workspace
+                  ~capacity:(Smrp_graph.Graph.node_count sc.Scenario.graph)
+                  ()
+              in
+              if Trace.enabled tracer then Dijkstra.set_trace ws tracer;
+              Reshape.stabilize ~ws ~metrics tree)
+            (List.init 5 (fun i -> seed + 900 + i)))
+    in
     print_string rendered;
+    Printf.printf "\n-- reshape stabilize (%d sweeps) --\nrounds %d, switches %d\n"
+      (List.length reshape_stats)
+      (List.fold_left (fun a (s : Reshape.stats) -> a + s.Reshape.rounds) 0 reshape_stats)
+      (List.fold_left (fun a (s : Reshape.stats) -> a + s.Reshape.switches) 0 reshape_stats);
     Printf.printf "\n-- metrics (merged across %d shard(s)) --\n%s"
       (Metrics.shard_count metrics) (Metrics.render metrics);
     Printf.printf "\n-- phases and pool workers --\n%s" (Profile.render prof);
@@ -233,6 +257,67 @@ let profile_cmd =
          "Profile a Fig. 9 sweep: merged sharded metrics, per-domain pool utilisation, per-phase \
           GC deltas, and optionally the stitched multi-domain trace.")
     Term.(const run $ seed_arg 9 $ scenarios_arg $ jobs $ trace)
+
+let report_cmd =
+  let module Report = Smrp_obs.Report in
+  let module Dashboard = Smrp_experiments.Dashboard in
+  let run seed scenarios quick jobs html json =
+    let base = if quick then Dashboard.quick else Dashboard.default in
+    let scenarios = Option.value scenarios ~default:base.Dashboard.scenarios in
+    let report = Dashboard.run ?jobs { base with Dashboard.seed; scenarios } in
+    print_string (Report.render_ascii report);
+    let write file contents =
+      let oc =
+        try open_out file
+        with Sys_error msg ->
+          Printf.eprintf "report: cannot open %s: %s\n%!" file msg;
+          exit 1
+      in
+      output_string oc contents;
+      close_out oc
+    in
+    write html (Report.render_html report);
+    Printf.printf "\nHTML dashboard written to %s\n" html;
+    Option.iter
+      (fun file ->
+        write file (Report.to_string report);
+        Printf.printf "report JSON written to %s\n" file)
+      json
+  in
+  let scenarios =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "scenarios" ] ~docv:"N" ~doc:"Random topologies per variant (default 20; 4 with --quick).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Scaled-down campaign (CI/smoke scale).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: SMRP_BENCH_JOBS or the recommended domain count).")
+  in
+  let html =
+    Arg.(
+      value & opt string "smrp-report.html"
+      & info [ "html" ] ~docv:"FILE" ~doc:"Where to write the HTML comparison dashboard.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the structured report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Run the comparison campaign (SPF baseline vs SMRP D_thresh sweep vs query scheme, plus \
+          the packet-level latency simulation) and emit an ASCII summary and a self-contained \
+          HTML dashboard.")
+    Term.(const run $ seed_arg 42 $ scenarios $ quick $ jobs $ html $ json)
 
 let fuzz_cmd =
   let module Fuzz = Smrp_check.Fuzz in
@@ -375,6 +460,7 @@ let () =
             fuzz_cmd;
             latency_cmd;
             profile_cmd;
+            report_cmd;
             ablations_cmd;
             related_cmd;
             dot_cmd;

@@ -1,3 +1,5 @@
+module Dijkstra = Smrp_graph.Dijkstra
+
 let candidate_of_previous t (nodes, edges) =
   match nodes with
   | merge :: _ ->
@@ -42,7 +44,7 @@ let try_reshape ?d_thresh ?failure ?ws t r =
 
 type stats = { switches : int; rounds : int }
 
-let stabilize ?d_thresh ?failure ?ws ?(max_rounds = 10) t =
+let stabilize ?d_thresh ?failure ?ws ?(max_rounds = 10) ?metrics t =
   if max_rounds < 1 then invalid_arg "Reshape.stabilize: max_rounds must be positive";
   let ws =
     match ws with
@@ -50,9 +52,46 @@ let stabilize ?d_thresh ?failure ?ws ?(max_rounds = 10) t =
     | None ->
         Smrp_graph.Dijkstra.workspace ~capacity:(Smrp_graph.Graph.node_count (Tree.graph t)) ()
   in
+  (* Instrumentation rides the workspace tracer (like candidate_search) and
+     an optional registry; both off (the default) costs one branch per
+     round.  Round and sweep wall times go to sketches so the profile can
+     report p50/p99 across many stabilize calls. *)
+  let module M = Smrp_obs.Metrics in
+  let module Trace = Smrp_obs.Trace in
+  let tr = Dijkstra.workspace_trace ws in
+  let tracing = Trace.enabled tr in
+  let observing = tracing || Option.is_some metrics in
+  let clock = Dijkstra.workspace_clock ws in
+  let inst =
+    Option.map
+      (fun m ->
+        ( M.counter m "reshape.rounds",
+          M.counter m "reshape.scans",
+          M.counter m "reshape.switches",
+          M.sketch m "reshape.round_s",
+          M.sketch m "reshape.stabilize_s" ))
+      metrics
+  in
+  let tid = (Domain.self () :> int) in
+  let t_start = if observing then clock () else 0.0 in
+  let finish stats =
+    if observing then begin
+      let dur = clock () -. t_start in
+      Option.iter
+        (fun (_, _, _, _, sweep_q) -> Smrp_obs.Sketch.observe sweep_q dur)
+        inst;
+      if tracing then
+        Trace.complete tr ~ts:t_start ~dur ~cat:"reshape" ~tid
+          ~args:
+            [ ("rounds", Trace.Int stats.rounds); ("switches", Trace.Int stats.switches) ]
+          "reshape.stabilize"
+    end;
+    stats
+  in
   let rec run rounds switches =
-    if rounds = max_rounds then { switches; rounds }
+    if rounds = max_rounds then finish { switches; rounds }
     else begin
+      let r0 = if observing then clock () else 0.0 in
       (* Deepest-first order: re-homing a subtree does not invalidate the
          pending decisions of shallower nodes as often. *)
       let nodes =
@@ -62,15 +101,37 @@ let stabilize ?d_thresh ?failure ?ws ?(max_rounds = 10) t =
         |> List.sort (fun (d1, v1) (d2, v2) -> compare (-d1, v1) (-d2, v2))
         |> List.map snd
       in
+      let round_scans = ref 0 in
       let round_switches =
         List.fold_left
           (fun acc v ->
-            if Tree.is_on_tree t v && v <> Tree.source t && try_reshape ?d_thresh ?failure ~ws t v
-            then acc + 1
+            if Tree.is_on_tree t v && v <> Tree.source t then begin
+              incr round_scans;
+              if try_reshape ?d_thresh ?failure ~ws t v then acc + 1 else acc
+            end
             else acc)
           0 nodes
       in
-      if round_switches = 0 then { switches; rounds = rounds + 1 }
+      if observing then begin
+        let dur = clock () -. r0 in
+        Option.iter
+          (fun (rounds_c, scans_c, switches_c, round_q, _) ->
+            M.Counter.incr rounds_c;
+            M.Counter.add scans_c !round_scans;
+            M.Counter.add switches_c round_switches;
+            Smrp_obs.Sketch.observe round_q dur)
+          inst;
+        if tracing then
+          Trace.complete tr ~ts:r0 ~dur ~cat:"reshape" ~tid
+            ~args:
+              [
+                ("round", Trace.Int rounds);
+                ("scans", Trace.Int !round_scans);
+                ("switches", Trace.Int round_switches);
+              ]
+            "reshape.round"
+      end;
+      if round_switches = 0 then finish { switches; rounds = rounds + 1 }
       else run (rounds + 1) (switches + round_switches)
     end
   in

@@ -27,11 +27,20 @@ val stabilize :
   ?failure:Failure.t ->
   ?ws:Smrp_graph.Dijkstra.workspace ->
   ?max_rounds:int ->
+  ?metrics:Smrp_obs.Metrics.t ->
   Tree.t ->
   stats
 (** Sweep all non-source on-tree nodes repeatedly (deepest first, so moved
     subtrees settle before their ancestors are reconsidered) until a round
-    performs no switch, or [max_rounds] (default 10) is reached. *)
+    performs no switch, or [max_rounds] (default 10) is reached.
+
+    Instrumentation is off the hot path unless enabled: with [?metrics],
+    counters [reshape.rounds] / [reshape.scans] / [reshape.switches] and
+    wall-time sketches [reshape.round_s] / [reshape.stabilize_s] are
+    recorded; with a tracer attached to [ws]
+    ({!Smrp_graph.Dijkstra.set_trace}), one "reshape.round" span per round
+    and one "reshape.stabilize" span per sweep are emitted (cat
+    ["reshape"]), nesting the inner candidate-search and Dijkstra spans. *)
 
 (** Condition-I bookkeeping: remembers [SHR^old] per node, as received after
     the last reshaping round. *)

@@ -2,6 +2,7 @@ module Rng = Smrp_rng.Rng
 module Stats = Smrp_metrics.Stats
 module Table = Smrp_metrics.Table
 module Waxman = Smrp_topology.Waxman
+module Report = Smrp_obs.Report
 
 (* Distinct, reproducible seeds per scenario: one stream per experiment,
    split once per scenario. *)
@@ -11,8 +12,14 @@ let scenario_seeds ~seed ~count =
 
 (* All data points of a figure fan out through one flat Pool.map — a slow
    config does not serialize behind a fast one — and are regrouped per
-   config afterwards, preserving the sequential order exactly. *)
-let sweep ?jobs ?metrics ~seed ~scenarios ~configs () =
+   config afterwards, preserving the sequential order exactly.
+
+   With [?report], each config's scenarios are additionally recorded into
+   the collector's per-variant registry named by [variants] (aligned with
+   [configs]).  Recording happens here on the orchestrator domain, after
+   the fan-out has joined, so the resulting report is byte-identical
+   whatever [jobs]. *)
+let sweep ?jobs ?metrics ?report ?(variants = []) ~seed ~scenarios ~configs () =
   let per_config =
     List.map
       (fun make_config ->
@@ -21,17 +28,28 @@ let sweep ?jobs ?metrics ~seed ~scenarios ~configs () =
       configs
   in
   let results = ref (Scenario.run_many ?jobs ?metrics (List.concat per_config)) in
-  List.map
-    (fun cfgs ->
-      let k = List.length cfgs in
-      let rec take k acc rest =
-        if k = 0 then (List.rev acc, rest)
-        else match rest with x :: tl -> take (k - 1) (x :: acc) tl | [] -> assert false
-      in
-      let group, rest = take k [] !results in
-      results := rest;
-      group)
-    per_config
+  let groups =
+    List.map
+      (fun cfgs ->
+        let k = List.length cfgs in
+        let rec take k acc rest =
+          if k = 0 then (List.rev acc, rest)
+          else match rest with x :: tl -> take (k - 1) (x :: acc) tl | [] -> assert false
+        in
+        let group, rest = take k [] !results in
+        results := rest;
+        group)
+      per_config
+  in
+  (match report with
+  | Some c when variants <> [] ->
+      List.iter2
+        (fun name group ->
+          let m = Report.variant_metrics c name in
+          List.iter (Scenario.record m) group)
+        variants groups
+  | _ -> ());
+  groups
 
 type point_summary = {
   rd : Stats.summary;
@@ -65,12 +83,17 @@ module Fig7 = struct
     on_diagonal_fraction : float;
   }
 
-  let run ?jobs ?metrics ?(seed = 7) ?(topologies = 5) () =
+  let run ?jobs ?metrics ?report ?(seed = 7) ?(topologies = 5) () =
     let seeds = scenario_seeds ~seed ~count:topologies in
     let scenarios =
       Scenario.run_many ?jobs ?metrics
         (List.map (fun s -> { Scenario.default with seed = s; link_delay = `Euclidean }) seeds)
     in
+    (match report with
+    | Some c ->
+        let m = Report.variant_metrics c "smrp (euclidean)" in
+        List.iter (Scenario.record m) scenarios
+    | None -> ());
     let points =
       List.concat_map
         (fun scenario ->
@@ -128,16 +151,17 @@ module Fig8 = struct
     cost : Stats.summary;
   }
 
-  let run ?jobs ?metrics ?(seed = 8) ?(values = [ 0.1; 0.2; 0.3; 0.4 ]) ?(scenarios = 100) () =
+  let run ?jobs ?metrics ?report ?(seed = 8) ?(values = [ 0.1; 0.2; 0.3; 0.4 ]) ?(scenarios = 100) () =
     let configs =
       List.map (fun dt s -> { Scenario.default with d_thresh = dt; seed = s }) values
     in
+    let variants = List.map (Printf.sprintf "smrp d=%.2f") values in
     List.map2
       (fun dt runs ->
         let s = summaries runs in
         { d_thresh = dt; rd = s.rd; rd_tree = s.rd_tree; delay = s.delay; cost = s.cost })
       values
-      (sweep ?jobs ?metrics ~seed ~scenarios ~configs ())
+      (sweep ?jobs ?metrics ?report ~variants ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =
@@ -181,7 +205,7 @@ module Fig9 = struct
     cost : Stats.summary;
   }
 
-  let run ?jobs ?metrics ?(seed = 9) ?(values = [ 0.15; 0.2; 0.25; 0.3 ]) ?(scenarios = 100)
+  let run ?jobs ?metrics ?report ?(seed = 9) ?(values = [ 0.15; 0.2; 0.25; 0.3 ]) ?(scenarios = 100)
       ?(degree_ten_row = true) () =
     let values =
       if degree_ten_row then begin
@@ -195,12 +219,13 @@ module Fig9 = struct
       else values
     in
     let configs = List.map (fun a s -> { Scenario.default with alpha = a; seed = s }) values in
+    let variants = List.map (Printf.sprintf "smrp alpha=%.3f") values in
     List.map2
       (fun a runs ->
         let s = summaries runs in
         { alpha = a; average_degree = s.degree.Stats.mean; rd = s.rd; delay = s.delay; cost = s.cost })
       values
-      (sweep ?jobs ?metrics ~seed ~scenarios ~configs ())
+      (sweep ?jobs ?metrics ?report ~variants ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =
@@ -249,14 +274,15 @@ module Fig10 = struct
     cost : Stats.summary;
   }
 
-  let run ?jobs ?metrics ?(seed = 10) ?(values = [ 20; 30; 40; 50 ]) ?(scenarios = 100) () =
+  let run ?jobs ?metrics ?report ?(seed = 10) ?(values = [ 20; 30; 40; 50 ]) ?(scenarios = 100) () =
     let configs = List.map (fun ng s -> { Scenario.default with group_size = ng; seed = s }) values in
+    let variants = List.map (Printf.sprintf "smrp N_G=%d") values in
     List.map2
       (fun ng runs ->
         let s = summaries runs in
         { group_size = ng; rd = s.rd; delay = s.delay; cost = s.cost })
       values
-      (sweep ?jobs ?metrics ~seed ~scenarios ~configs ())
+      (sweep ?jobs ?metrics ?report ~variants ~seed ~scenarios ~configs ())
 
   let render rows =
     let t =

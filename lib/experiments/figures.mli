@@ -6,6 +6,12 @@
     each scenario records into (see {!Scenario.run}) — shared across the
     parallel fan-out, it merges to exactly the sequential totals.
 
+    Every [run] also accepts [?report]: a {!Smrp_obs.Report.collector}
+    that receives each sweep row as its own variant (named after the swept
+    parameter, e.g. ["smrp d=0.30"]), recorded via {!Scenario.record} on
+    the orchestrating domain after the fan-out joins — the collected
+    report is byte-identical whatever [jobs].
+
     Sampling note: the paper reuses each random topology for several member
     sets (e.g. 10 × 10 in Fig. 8); we draw an independent topology per
     scenario, which samples the same ensemble with marginally more
@@ -23,7 +29,13 @@ module Fig7 : sig
   }
 
   val run :
-    ?jobs:int -> ?metrics:Smrp_obs.Metrics.t -> ?seed:int -> ?topologies:int -> unit -> result
+    ?jobs:int ->
+    ?metrics:Smrp_obs.Metrics.t ->
+    ?report:Smrp_obs.Report.collector ->
+    ?seed:int ->
+    ?topologies:int ->
+    unit ->
+    result
   (** Default: 5 topologies of the reference configuration, with Euclidean
       link delays (the scatter is over a continuous recovery-distance
       scale, as in the paper's plot).  [jobs] caps the domain fan-out
@@ -51,6 +63,7 @@ module Fig8 : sig
   val run :
     ?jobs:int ->
     ?metrics:Smrp_obs.Metrics.t ->
+    ?report:Smrp_obs.Report.collector ->
     ?seed:int ->
     ?values:float list ->
     ?scenarios:int ->
@@ -79,6 +92,7 @@ module Fig9 : sig
   val run :
     ?jobs:int ->
     ?metrics:Smrp_obs.Metrics.t ->
+    ?report:Smrp_obs.Report.collector ->
     ?seed:int ->
     ?values:float list ->
     ?scenarios:int ->
@@ -108,6 +122,7 @@ module Fig10 : sig
   val run :
     ?jobs:int ->
     ?metrics:Smrp_obs.Metrics.t ->
+    ?report:Smrp_obs.Report.collector ->
     ?seed:int ->
     ?values:int list ->
     ?scenarios:int ->

@@ -78,7 +78,7 @@ let run_side ?obs config ~graph ~source ~members ~victim strategy =
     metrics = Option.map (fun o -> Smrp_obs.Metrics.render (Obs.metrics o)) obs;
   }
 
-let run ?trace_sink ?(with_metrics = false) config =
+let run ?trace_sink ?(with_metrics = false) ?smrp_metrics ?pim_metrics config =
   let sc = config.scenario in
   let rng = Rng.create sc.Scenario.seed in
   let topo_rng = Rng.split rng in
@@ -118,11 +118,11 @@ let run ?trace_sink ?(with_metrics = false) config =
       (* One observability context per side: distinct trace pids let both
          simulations share a single trace file, and separate registries keep
          the metric streams comparable. *)
-      let side name pid strategy =
+      let side name pid strategy metrics =
         let obs =
-          if trace_sink = None && not with_metrics then None
+          if trace_sink = None && (not with_metrics) && Option.is_none metrics then None
           else begin
-            let o = Obs.create ?sink:trace_sink ~pid () in
+            let o = Obs.create ?sink:trace_sink ~pid ?metrics () in
             let tr = Obs.trace o in
             if Trace.enabled tr then Trace.process_name tr name;
             Some o
@@ -133,8 +133,8 @@ let run ?trace_sink ?(with_metrics = false) config =
       Some
         {
           seed = sc.Scenario.seed;
-          smrp = side "SMRP (local)" 1 Protocol.Local;
-          pim = side "PIM (global)" 2 Protocol.Global;
+          smrp = side "SMRP (local)" 1 Protocol.Local smrp_metrics;
+          pim = side "PIM (global)" 2 Protocol.Global pim_metrics;
         }
 
 let run_many ?(seed = 25) ?(runs = 10) config =

@@ -35,14 +35,26 @@ type side_result = {
 
 type result = { seed : int; smrp : side_result; pim : side_result }
 
-val run : ?trace_sink:Smrp_obs.Trace.sink -> ?with_metrics:bool -> config -> result option
+val run :
+  ?trace_sink:Smrp_obs.Trace.sink ->
+  ?with_metrics:bool ->
+  ?smrp_metrics:Smrp_obs.Metrics.t ->
+  ?pim_metrics:Smrp_obs.Metrics.t ->
+  config ->
+  result option
 (** [None] when every member's worst-case link is a graph bridge (recovery
     impossible); {!run_many} skips such draws.
 
     [trace_sink] turns on simulation-clock tracing for both sides into the
     one sink — SMRP as trace pid 1, PIM as pid 2 (process names included),
     in Chrome [trace_event] form.  [with_metrics] (default false) collects
-    engine/net/protocol metrics per side into {!side_result.metrics}. *)
+    engine/net/protocol metrics per side into {!side_result.metrics}.
+    [smrp_metrics] / [pim_metrics] supply external registries for the
+    respective side (e.g. a report collector's per-variant registries) —
+    the side then records its counters, recovery-latency sketches
+    ([recovery.total.q] and friends) and sim-time series
+    ([net.frame_drops], [proto.members_disrupted]) into the given
+    registry. *)
 
 val run_many : ?seed:int -> ?runs:int -> config -> result list
 

@@ -107,19 +107,31 @@ let pick_group rng ~n ~group_size =
    the same totals as a sequential run.  All counted quantities are
    integers, and the recovery-distance histogram sums hop counts, so under
    the default [`Unit] link metric even its float [sum] is exact. *)
-let record_metrics m t =
+let record m t =
   Metrics.Counter.incr (Metrics.counter m "scenario.runs");
   Metrics.Counter.add (Metrics.counter m "scenario.members") (List.length t.members);
   let recovered = Metrics.counter m "scenario.recovered"
   and isolated = Metrics.counter m "scenario.isolated"
   and rd_hist = Metrics.histogram m ~base:2.0 ~lowest:1.0 ~count:8 "scenario.rd_local_smrp" in
+  (* Quantile sketches alongside the coarse histogram: recovery distances
+     per strategy/tree and per-member tree delays.  Under the default
+     [`Unit] link metric every observation is an integer hop count, so the
+     sketch sums merge exactly across domains. *)
+  let rd_smrp_q = Metrics.sketch m "scenario.rd_local_smrp.q"
+  and rd_spf_q = Metrics.sketch m "scenario.rd_global_spf.q"
+  and delay_smrp_q = Metrics.sketch m "scenario.delay_smrp.q"
+  and delay_spf_q = Metrics.sketch m "scenario.delay_spf.q" in
   List.iter
     (fun o ->
-      match o.rd_local_smrp with
+      (match o.rd_local_smrp with
       | Some rd ->
           Metrics.Counter.incr recovered;
-          Metrics.Histogram.observe rd_hist rd
-      | None -> Metrics.Counter.incr isolated)
+          Metrics.Histogram.observe rd_hist rd;
+          Smrp_obs.Sketch.observe rd_smrp_q rd
+      | None -> Metrics.Counter.incr isolated);
+      Option.iter (Smrp_obs.Sketch.observe rd_spf_q) o.rd_global_spf;
+      Smrp_obs.Sketch.observe delay_smrp_q o.delay_smrp;
+      Smrp_obs.Sketch.observe delay_spf_q o.delay_spf)
     t.outcomes
 
 let run ?metrics config =
@@ -159,7 +171,7 @@ let run ?metrics config =
       outcomes;
     }
   in
-  Option.iter (fun m -> record_metrics m t) metrics;
+  Option.iter (fun m -> record m t) metrics;
   t
 
 let run_many ?jobs ?metrics configs = Pool.map ?jobs (run ?metrics) configs

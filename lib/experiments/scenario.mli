@@ -49,13 +49,20 @@ type t = {
 val run : ?metrics:Smrp_obs.Metrics.t -> config -> t
 (** Deterministic in [config] (including [seed]): safe to fan out across
     domains with {!Pool.map}.  With [?metrics], the run records into the
-    registry: counters [scenario.runs], [scenario.members],
-    [scenario.recovered] / [scenario.isolated] (members with / without a
-    defined worst-case local-SMRP recovery), and a base-2 histogram
-    [scenario.rd_local_smrp] of the recovery distances.  All counted
-    quantities are integers (and under the default [`Unit] link metric the
-    histogram sums hop counts), so a registry shared across a parallel
-    fan-out merges to exactly the sequential totals. *)
+    registry via {!record}.  All counted quantities are integers (and under
+    the default [`Unit] link metric the histogram and sketch observations
+    are hop counts), so a registry shared across a parallel fan-out merges
+    to exactly the sequential totals. *)
+
+val record : Smrp_obs.Metrics.t -> t -> unit
+(** Record one evaluated scenario: counters [scenario.runs],
+    [scenario.members], [scenario.recovered] / [scenario.isolated] (members
+    with / without a defined worst-case local-SMRP recovery), the base-2
+    histogram [scenario.rd_local_smrp], and quantile sketches
+    [scenario.rd_local_smrp.q], [scenario.rd_global_spf.q],
+    [scenario.delay_smrp.q], [scenario.delay_spf.q].  Exposed so report
+    builders can record already-run scenarios into per-variant
+    registries. *)
 
 val run_many : ?jobs:int -> ?metrics:Smrp_obs.Metrics.t -> config list -> t list
 (** [run_many configs] is [List.map run configs] fanned out over
@@ -77,6 +84,17 @@ val evaluate :
 val pick_group : Smrp_rng.Rng.t -> n:int -> group_size:int -> int * int list
 (** Draw a source and a member set uniformly (the source is an unbiased
     pick among the drawn nodes). *)
+
+val recovery_distance :
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  Smrp_core.Tree.t ->
+  int ->
+  [ `Local | `Global ] ->
+  float option
+(** The member's recovery distance on [tree] under that tree's worst-case
+    failure for it (§4.3.1), [None] if the member is isolated — the
+    per-member measurement behind {!evaluate}, exposed for experiments on
+    other tree builds (e.g. the query scheme). *)
 
 (** Per-scenario aggregates: the relative metrics of §4.2 averaged over the
     group (members without a defined baseline are skipped).

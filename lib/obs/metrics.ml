@@ -98,7 +98,12 @@ module Histogram = struct
         ((if i = n then infinity else h.bounds.(i)), h.counts.(i)))
 end
 
-type instrument = C of Counter.t | G of Gauge.t | H of Histogram.t
+type instrument =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+  | S of Sketch.t
+  | Ts of Series.t
 
 type shard = { domain : int; tbl : (string, instrument) Hashtbl.t }
 
@@ -123,7 +128,12 @@ let shard_locked t =
 
 let shard_count t = with_lock t (fun () -> List.length t.shards)
 
-let kind = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+let kind = function
+  | C _ -> "counter"
+  | G _ -> "gauge"
+  | H _ -> "histogram"
+  | S _ -> "sketch"
+  | Ts _ -> "series"
 
 let register t name make wanted =
   with_lock t (fun () ->
@@ -158,6 +168,16 @@ let histogram t ?(base = 10.0) ?(lowest = 1e-3) ?(count = 8) name =
   | H h -> h
   | _ -> assert false
 
+let sketch t ?base ?lowest ?count name =
+  match register t name (fun () -> S (Sketch.create ?base ?lowest ?count ())) "sketch" with
+  | S s -> s
+  | _ -> assert false
+
+let series t ?kind ?interval ?capacity name =
+  match register t name (fun () -> Ts (Series.create ?kind ?interval ?capacity ())) "series" with
+  | Ts s -> s
+  | _ -> assert false
+
 (* -- Merge -------------------------------------------------------------- *)
 
 (* A merged instrument: a value-level copy of one shard's instrument that
@@ -167,6 +187,8 @@ type minst =
   | MC of int
   | MG of { last : float; last_ts : float; max : float }
   | MH of { bounds : float array; counts : int array; count : int; sum : float }
+  | MS of Sketch.t (* private copy, mutated only by the merge fold *)
+  | MT of Series.t (* likewise *)
 
 let minst_of_instrument = function
   | C c -> MC c.Counter.n
@@ -179,8 +201,15 @@ let minst_of_instrument = function
           count = h.Histogram.count;
           sum = h.Histogram.sum;
         }
+  | S s -> MS (Sketch.copy s)
+  | Ts s -> MT (Series.copy s)
 
-let minst_kind = function MC _ -> "counter" | MG _ -> "gauge" | MH _ -> "histogram"
+let minst_kind = function
+  | MC _ -> "counter"
+  | MG _ -> "gauge"
+  | MH _ -> "histogram"
+  | MS _ -> "sketch"
+  | MT _ -> "series"
 
 let merge_minst name a b =
   match (a, b) with
@@ -203,6 +232,18 @@ let merge_minst name a b =
           count = x.count + y.count;
           sum = x.sum +. y.sum;
         }
+  | MS x, MS y ->
+      if not (Sketch.compatible x y) then
+        invalid_arg
+          (Printf.sprintf "Metrics: sketch %S layouts differ across shards" name);
+      Sketch.merge_into ~into:x y;
+      MS x
+  | MT x, MT y ->
+      if not (Series.compatible x y) then
+        invalid_arg
+          (Printf.sprintf "Metrics: series %S layouts differ across shards" name);
+      Series.merge_into ~into:x y;
+      MT x
   | _ ->
       invalid_arg
         (Printf.sprintf "Metrics: %S registered as a %s in one domain and a %s in another" name
@@ -232,6 +273,8 @@ type value =
   | Counter_value of int
   | Gauge_value of { last : float; max : float }
   | Histogram_value of { count : int; sum : float; buckets : (float * int) list }
+  | Sketch_value of Sketch.summary
+  | Series_value of Series.view
 
 let value_of_minst = function
   | MC n -> Counter_value n
@@ -244,6 +287,8 @@ let value_of_minst = function
           sum;
           buckets = List.init (n + 1) (fun i -> ((if i = n then infinity else bounds.(i)), counts.(i)));
         }
+  | MS s -> Sketch_value (Sketch.summarize s)
+  | MT s -> Series_value (Series.view s)
 
 let snapshot t = List.map (fun (name, m) -> (name, value_of_minst m)) (merged t)
 
@@ -290,7 +335,42 @@ let merge_into ~into src =
               (Printf.sprintf "Metrics: histogram %S bucket bounds differ across registries" name);
           Array.iteri (fun i c -> h.Histogram.counts.(i) <- h.Histogram.counts.(i) + c) counts;
           h.Histogram.count <- h.Histogram.count + count;
-          h.Histogram.sum <- h.Histogram.sum +. sum)
+          h.Histogram.sum <- h.Histogram.sum +. sum
+      | MS src_s ->
+          let s =
+            match
+              register into name
+                (fun () ->
+                  S
+                    (Sketch.create ~base:(Sketch.base src_s) ~lowest:(Sketch.lowest src_s)
+                       ~count:(Sketch.bucket_count src_s) ()))
+                "sketch"
+            with
+            | S s -> s
+            | _ -> assert false
+          in
+          if not (Sketch.compatible s src_s) then
+            invalid_arg
+              (Printf.sprintf "Metrics: sketch %S layouts differ across registries" name);
+          Sketch.merge_into ~into:s src_s
+      | MT src_ts ->
+          let ts =
+            match
+              register into name
+                (fun () ->
+                  Ts
+                    (Series.create ~kind:(Series.kind src_ts)
+                       ~interval:(Series.interval src_ts)
+                       ~capacity:(Series.capacity src_ts) ()))
+                "series"
+            with
+            | Ts ts -> ts
+            | _ -> assert false
+          in
+          if not (Series.compatible ts src_ts) then
+            invalid_arg
+              (Printf.sprintf "Metrics: series %S layouts differ across registries" name);
+          Series.merge_into ~into:ts src_ts)
     entries
 
 let render t =
@@ -312,6 +392,27 @@ let render t =
                 Buffer.add_string buf
                   (if bound = infinity then Printf.sprintf "             le +inf : %d\n" n
                    else Printf.sprintf "             le %-6g: %d\n" bound n))
-            buckets)
+            buckets
+      | Sketch_value s ->
+          if s.Sketch.s_count = 0 then
+            Buffer.add_string buf (Printf.sprintf "sketch     %-40s count=0\n" name)
+          else
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "sketch     %-40s count=%d sum=%g p50=%g p90=%g p99=%g p999=%g max=%g\n" name
+                 s.Sketch.s_count s.Sketch.s_sum
+                 (Sketch.summary_quantile s 0.50)
+                 (Sketch.summary_quantile s 0.90)
+                 (Sketch.summary_quantile s 0.99)
+                 (Sketch.summary_quantile s 0.999)
+                 s.Sketch.s_max)
+      | Series_value v ->
+          let pts = v.Series.v_points in
+          (match (pts, List.rev pts) with
+          | (t0, _) :: _, (t1, last) :: _ ->
+              Buffer.add_string buf
+                (Printf.sprintf "series     %-40s points=%d span=[%g, %g] last=%g\n" name
+                   (List.length pts) t0 t1 last)
+          | _ -> Buffer.add_string buf (Printf.sprintf "series     %-40s points=0\n" name)))
     (snapshot t);
   Buffer.contents buf

@@ -1,4 +1,5 @@
-(** Domain-sharded metrics registry: named counters, gauges and histograms
+(** Domain-sharded metrics registry: named counters, gauges, histograms,
+    quantile {!Sketch}es and sim-time {!Series}
     with a deterministic merged snapshot/render order (sorted by name), so
     two identical seeded simulation runs produce byte-identical metric
     dumps — whether they ran on one domain or many.
@@ -100,10 +101,25 @@ val histogram : t -> ?base:float -> ?lowest:float -> ?count:int -> string -> His
     bucket parameters in different domains is detected at merge time
     ([Invalid_argument]). *)
 
+val sketch : t -> ?base:float -> ?lowest:float -> ?count:int -> string -> Sketch.t
+(** A {!Sketch.t} instrument (dense log buckets for quantile estimates);
+    defaults as {!Sketch.create}.  Sketches merge across shards by
+    bucket-wise addition; layout mismatches (base/lowest/bucket count)
+    raise [Invalid_argument] at merge time, like histogram bounds. *)
+
+val series : t -> ?kind:Series.kind -> ?interval:float -> ?capacity:int -> string -> Series.t
+(** A {!Series.t} instrument (fixed-interval sim-time ring); defaults as
+    {!Series.create}.  Series merge across shards bucket-wise per their
+    kind ([Sum] adds, [Last] follows gauge timestamp rules); layout
+    mismatches (kind/interval/capacity) raise [Invalid_argument] at merge
+    time. *)
+
 type value =
   | Counter_value of int
   | Gauge_value of { last : float; max : float }
   | Histogram_value of { count : int; sum : float; buckets : (float * int) list }
+  | Sketch_value of Sketch.summary
+  | Series_value of Series.view
 
 val snapshot : t -> (string * value) list
 (** All instruments merged across shards, sorted by name.  Raises

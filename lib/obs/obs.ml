@@ -1,7 +1,8 @@
 type t = { metrics : Metrics.t; trace : Trace.t }
 
-let create ?(pid = 0) ?(sink = Trace.noop) () =
-  { metrics = Metrics.create (); trace = Trace.create ~pid sink }
+let create ?(pid = 0) ?(sink = Trace.noop) ?metrics () =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  { metrics; trace = Trace.create ~pid sink }
 
 let metrics t = t.metrics
 

@@ -6,8 +6,10 @@
 
 type t
 
-val create : ?pid:int -> ?sink:Trace.sink -> unit -> t
-(** Defaults: [pid = 0], [sink = Trace.noop]. *)
+val create : ?pid:int -> ?sink:Trace.sink -> ?metrics:Metrics.t -> unit -> t
+(** Defaults: [pid = 0], [sink = Trace.noop], a fresh [Metrics.create ()].
+    Pass [?metrics] to record into an external registry — e.g. a
+    per-variant report registry shared across simulator components. *)
 
 val metrics : t -> Metrics.t
 

@@ -8,6 +8,7 @@ type meters = {
   m_lost : Metrics.Counter.t;
   m_dropped_send : Metrics.Counter.t;
   m_dropped_flight : Metrics.Counter.t;
+  m_drop_series : Smrp_obs.Series.t; (* drops per sim second, all causes *)
 }
 
 type 'msg t = {
@@ -39,6 +40,7 @@ let create ?obs ?msg_label engine graph ~handler =
           m_lost = Metrics.counter m "net.frames_lost";
           m_dropped_send = Metrics.counter m "net.frames_dropped_failure_at_send";
           m_dropped_flight = Metrics.counter m "net.frames_dropped_failure_in_flight";
+          m_drop_series = Metrics.series m ~kind:Smrp_obs.Series.Sum "net.frame_drops";
         })
       obs
   in
@@ -71,6 +73,13 @@ let label t msg = match t.msg_label with Some f -> f msg | None -> "frame"
 
 let meter t f = match t.meters with Some m -> Metrics.Counter.incr (f m) | None -> ()
 
+(* One frame failed to reach its destination (any cause): a point on the
+   drops-per-sim-second series. *)
+let meter_drop t =
+  match t.meters with
+  | Some m -> Smrp_obs.Series.observe m.m_drop_series ~ts:(Engine.now t.engine) 1.0
+  | None -> ()
+
 let send t ~src ~dst msg =
   match Graph.edge_between t.graph src dst with
   | None -> invalid_arg "Net.send: nodes not adjacent"
@@ -79,6 +88,7 @@ let send t ~src ~dst msg =
       if t.link_down.(eid) || t.node_down.(src) || t.node_down.(dst) then begin
         t.dropped_send_failure <- t.dropped_send_failure + 1;
         meter t (fun m -> m.m_dropped_send);
+        meter_drop t;
         if Trace.enabled t.trace then
           Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
             ~args:[ ("dst", Trace.Int dst) ]
@@ -93,6 +103,7 @@ let send t ~src ~dst msg =
           | Some (rng, rate) when Smrp_rng.Rng.float rng 1.0 < rate ->
               t.frames_lost <- t.frames_lost + 1;
               meter t (fun m -> m.m_lost);
+              meter_drop t;
               if Trace.enabled t.trace then
                 Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
                   ~args:[ ("dst", Trace.Int dst) ]
@@ -119,6 +130,7 @@ let send t ~src ~dst msg =
                  else begin
                    t.dropped_in_flight <- t.dropped_in_flight + 1;
                    meter t (fun m -> m.m_dropped_flight);
+                   meter_drop t;
                    if Trace.enabled t.trace then
                      Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
                        ~args:[ ("dst", Trace.Int dst) ]

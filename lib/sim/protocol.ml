@@ -91,6 +91,11 @@ type meters = {
   p_data : Metrics.Counter.t;
   h_phase : (Timeline.phase * Metrics.Histogram.t) list;
   h_total : Metrics.Histogram.t;
+  (* Quantile sketches beside the decade histograms: per-episode recovery
+     latency (detection -> first data) and its per-phase breakdown. *)
+  q_phase : (Timeline.phase * Smrp_obs.Sketch.t) list;
+  q_total : Smrp_obs.Sketch.t;
+  s_disrupted : Smrp_obs.Series.t; (* members currently disrupted, over sim time *)
 }
 
 type t = {
@@ -111,6 +116,7 @@ type t = {
   mutable refresh_sent : int;
   mutable prune_sent : int;
   mutable next_seq : int;
+  mutable disrupted_now : int; (* members detected-but-not-yet-restored *)
   timeline : Timeline.recorder;
   trace : Trace.t;
   meters : meters option;
@@ -260,16 +266,29 @@ and handle t ~at ~from msg =
         | Some _, None ->
             st.restored_at <- Some now;
             st.recovering <- false;
+            t.disrupted_now <- t.disrupted_now - 1;
             Timeline.note_first_data t.timeline ~member:at ~ts:now;
+            (match t.meters with
+            | Some m ->
+                Smrp_obs.Series.observe m.s_disrupted ~ts:now (float_of_int t.disrupted_now)
+            | None -> ());
             (match (t.meters, Timeline.episode t.timeline at) with
             | Some m, Some ep ->
                 List.iter
                   (fun (phase, dur) ->
-                    match (dur, List.assoc_opt phase m.h_phase) with
-                    | Some d, Some h -> Metrics.Histogram.observe h d
-                    | _ -> ())
+                    match dur with
+                    | Some d ->
+                        Option.iter (fun h -> Metrics.Histogram.observe h d)
+                          (List.assoc_opt phase m.h_phase);
+                        Option.iter (fun q -> Smrp_obs.Sketch.observe q d)
+                          (List.assoc_opt phase m.q_phase)
+                    | None -> ())
                   (Timeline.phase_durations ep);
-                Option.iter (Metrics.Histogram.observe m.h_total) (Timeline.total ep)
+                Option.iter
+                  (fun d ->
+                    Metrics.Histogram.observe m.h_total d;
+                    Smrp_obs.Sketch.observe m.q_total d)
+                  (Timeline.total ep)
             | _ -> ());
             if Trace.enabled t.trace then begin
               Trace.instant t.trace ~ts:now ~cat:"recovery" ~tid:at "first_data";
@@ -312,6 +331,17 @@ let create ?(config = default_config) ?obs engine graph ~source =
           p_data = Metrics.counter m "proto.sent.data";
           h_phase = List.map phase_histogram Timeline.phases;
           h_total = Metrics.histogram m ~base:10.0 ~lowest:1e-3 ~count:6 "recovery.total";
+          q_phase =
+            List.map
+              (fun p ->
+                ( p,
+                  Metrics.sketch m
+                    ("recovery.phase."
+                    ^ String.map (function ' ' -> '_' | c -> c) (Timeline.phase_name p)
+                    ^ ".q") ))
+              Timeline.phases;
+          q_total = Metrics.sketch m "recovery.total.q";
+          s_disrupted = Metrics.series m ~kind:Smrp_obs.Series.Last "proto.members_disrupted";
         })
       obs
   in
@@ -334,6 +364,7 @@ let create ?(config = default_config) ?obs engine graph ~source =
       refresh_sent = 0;
       prune_sent = 0;
       next_seq = 0;
+      disrupted_now = 0;
       timeline = Timeline.create ();
       trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
       meters;
@@ -548,7 +579,13 @@ let declare_disrupted t m =
     st.recovering <- true;
     st.last_attempt <- now;
     let first = st.disrupted_at = None in
-    if first then st.disrupted_at <- Some now;
+    if first then begin
+      st.disrupted_at <- Some now;
+      t.disrupted_now <- t.disrupted_now + 1;
+      match t.meters with
+      | Some mt -> Smrp_obs.Series.observe mt.s_disrupted ~ts:now (float_of_int t.disrupted_now)
+      | None -> ()
+    end;
     Timeline.note_detected t.timeline ~member:m ~ts:now;
     if Trace.enabled t.trace then
       if first then begin

@@ -235,6 +235,199 @@ let merge_into_accumulates () =
   | Metrics.Counter_value n -> check_int "second merge adds again" 10 n
   | _ -> Alcotest.fail "c is not a counter"
 
+(* -- Sketches ------------------------------------------------------------ *)
+
+module Sketch = Smrp_obs.Sketch
+
+let exact_quantile values q =
+  (* Rank-based reference on the raw data: value at rank
+     [max 1 (ceil (q * n))], matching the sketch's rank rule. *)
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  List.nth sorted (rank - 1)
+
+let sketch_quantile_error_bounds () =
+  (* 1..1000: every estimate must sit within the advertised relative error
+     of the rank-true quantile, and the hard bucket bounds must bracket
+     it. *)
+  let s = Sketch.create () in
+  let values = List.init 1000 (fun i -> float_of_int (i + 1)) in
+  List.iter (Sketch.observe s) values;
+  check_int "count" 1000 (Sketch.count s);
+  Alcotest.(check (float 1e-6)) "sum exact on integers" 500500.0 (Sketch.sum s);
+  let err = Sketch.rel_error s in
+  check "error bound is ~5.6%" true (err > 0.05 && err < 0.06);
+  List.iter
+    (fun q ->
+      let truth = exact_quantile values q in
+      let est = Sketch.quantile s q in
+      check
+        (Printf.sprintf "q=%g estimate %g within %.1f%% of %g" q est (100.0 *. err) truth)
+        true
+        (Float.abs (est -. truth) <= (err *. truth) +. 1e-9);
+      let lo, hi = Sketch.quantile_bounds s q in
+      check (Printf.sprintf "q=%g bounds bracket truth" q) true (lo <= truth && truth <= hi))
+    [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let sketch_estimates_clamped_to_extrema () =
+  let s = Sketch.create () in
+  Sketch.observe s 3.0;
+  List.iter
+    (fun q -> Alcotest.(check (float 0.0)) "single value is every quantile" 3.0 (Sketch.quantile s q))
+    [ 0.0; 0.5; 1.0 ];
+  (* Values below [lowest] and beyond the last bound still clamp to the
+     observed extrema. *)
+  let tiny = Sketch.create ~base:2.0 ~lowest:1.0 ~count:3 () in
+  Sketch.observe tiny 0.25;
+  Sketch.observe tiny 1e6;
+  Alcotest.(check (float 0.0)) "p0 clamps to min" 0.25 (Sketch.quantile tiny 0.0);
+  Alcotest.(check (float 0.0)) "p100 clamps to max (overflow bucket)" 1e6 (Sketch.quantile tiny 1.0)
+
+let sketch_guards () =
+  let s = Sketch.create () in
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Sketch.quantile: empty sketch")
+    (fun () -> ignore (Sketch.quantile s 0.5));
+  Sketch.observe s 1.0;
+  Alcotest.check_raises "q out of range" (Invalid_argument "Sketch.quantile: q outside [0, 1]")
+    (fun () -> ignore (Sketch.quantile s 1.5));
+  Alcotest.check_raises "non-finite observation"
+    (Invalid_argument "Sketch.observe: non-finite value") (fun () -> Sketch.observe s nan);
+  Alcotest.check_raises "layout mismatch"
+    (Invalid_argument "Sketch.merge_into: sketch layouts differ (base/lowest/bucket count)")
+    (fun () -> Sketch.merge_into ~into:s (Sketch.create ~base:2.0 ()))
+
+let sketch_merge_matches_sequential () =
+  (* Split one observation stream across two sketches; the merge must equal
+     the sketch that saw everything (plain-data summaries compare with =). *)
+  let all = List.init 500 (fun i -> Float.of_int (1 + (i * i mod 97))) in
+  let whole = Sketch.create () in
+  List.iter (Sketch.observe whole) all;
+  let a = Sketch.create () and b = Sketch.create () in
+  List.iteri (fun i v -> Sketch.observe (if i mod 2 = 0 then a else b) v) all;
+  Sketch.merge_into ~into:a b;
+  check "merged summary equals sequential" true (Sketch.summarize a = Sketch.summarize whole);
+  Alcotest.(check (float 0.0)) "merged p99 equals sequential" (Sketch.quantile whole 0.99)
+    (Sketch.quantile a 0.99)
+
+let sketch_summary_roundtrips_quantiles () =
+  let s = Sketch.create () in
+  List.iter (Sketch.observe s) [ 1.0; 2.0; 2.0; 8.0; 40.0 ];
+  let sm = Sketch.summarize s in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0)) "summary quantile = live quantile" (Sketch.quantile s q)
+        (Sketch.summary_quantile sm q))
+    [ 0.0; 0.5; 0.9; 1.0 ];
+  Alcotest.(check (float 0.0)) "summary error bound" (Sketch.rel_error s)
+    (Sketch.summary_rel_error sm)
+
+(* -- Series -------------------------------------------------------------- *)
+
+module Series = Smrp_obs.Series
+
+let series_bucketing_kinds () =
+  let sum = Series.create ~interval:2.0 ~capacity:8 () in
+  List.iter (fun (ts, v) -> Series.observe sum ~ts v) [ (0.0, 1.0); (1.9, 2.0); (4.0, 5.0) ];
+  (* ts 0 and 1.9 share bucket 0; 4.0 opens bucket 2. *)
+  check "sum adds within bucket" true
+    (Series.points sum = [ (0.0, 3.0); (4.0, 5.0) ]);
+  let last = Series.create ~kind:Series.Last ~interval:2.0 ~capacity:8 () in
+  List.iter (fun (ts, v) -> Series.observe last ~ts v) [ (0.0, 10.0); (1.0, 7.0); (4.0, 5.0) ];
+  check "last overwrites within bucket" true
+    (Series.points last = [ (0.0, 7.0); (4.0, 5.0) ]);
+  check_int "samples counted" 3 (Series.samples last)
+
+let series_ring_eviction () =
+  let s = Series.create ~interval:1.0 ~capacity:4 () in
+  for i = 0 to 9 do
+    Series.observe s ~ts:(float_of_int i) 1.0
+  done;
+  (* Window is (hi - capacity, hi] = buckets 6..9. *)
+  check "window keeps last capacity buckets" true
+    (Series.points s = [ (6.0, 1.0); (7.0, 1.0); (8.0, 1.0); (9.0, 1.0) ]);
+  check_int "no drops while moving forward" 0 (Series.dropped s);
+  Series.observe s ~ts:2.0 1.0;
+  check_int "stale observation dropped" 1 (Series.dropped s);
+  check "stale observation did not resurface" true (List.length (Series.points s) = 4);
+  Alcotest.check_raises "negative ts"
+    (Invalid_argument "Series.observe: ts must be finite and non-negative") (fun () ->
+      Series.observe s ~ts:(-1.0) 0.0)
+
+let series_merge_semantics () =
+  (* Sum: bucket-wise addition. *)
+  let a = Series.create ~capacity:16 () and b = Series.create ~capacity:16 () in
+  Series.observe a ~ts:1.0 2.0;
+  Series.observe a ~ts:5.0 1.0;
+  Series.observe b ~ts:1.5 3.0;
+  Series.observe b ~ts:9.0 4.0;
+  Series.merge_into ~into:a b;
+  check "sum merge adds per bucket" true
+    (Series.points a = [ (1.0, 5.0); (5.0, 1.0); (9.0, 4.0) ]);
+  (* Last: per bucket the greater observation ts supplies the value, ties
+     break towards the larger value — the gauge rule. *)
+  let x = Series.create ~kind:Series.Last ~capacity:16 ()
+  and y = Series.create ~kind:Series.Last ~capacity:16 () in
+  Series.observe x ~ts:1.2 10.0;
+  Series.observe y ~ts:1.7 20.0 (* newer wins bucket 1 *);
+  Series.observe x ~ts:2.5 9.0;
+  Series.observe y ~ts:2.5 3.0 (* tie: larger value wins bucket 2 *);
+  Series.merge_into ~into:x y;
+  check "last merge follows gauge rule" true (Series.points x = [ (1.0, 20.0); (2.0, 9.0) ]);
+  Alcotest.check_raises "layout mismatch"
+    (Invalid_argument "Series.merge_into: series layouts differ (kind/interval/capacity)")
+    (fun () -> Series.merge_into ~into:a (Series.create ~capacity:8 ()))
+
+(* -- Sketches and series across domains ---------------------------------- *)
+
+let sharded_sketch_series_equal_sequential () =
+  (* The tentpole identity: a 4-domain fan-out recording into registry
+     sketches and series merges to exactly the snapshot of a sequential run
+     making the same observations.  Snapshot values are plain data, so the
+     whole comparison is structural equality. *)
+  let body m k =
+    let q = Metrics.sketch m "hammer.q" in
+    let drops = Metrics.series m "hammer.drops" in
+    for i = 1 to 5_000 do
+      Sketch.observe q (float_of_int (1 + ((i * (k + 1)) mod 113)));
+      Series.observe drops ~ts:(float_of_int ((i + k) mod 400)) 1.0
+    done
+  in
+  let par = on_four_domains body in
+  let seq = Metrics.create () in
+  for k = 0 to 3 do
+    body seq k
+  done;
+  check_int "four shards" 4 (Metrics.shard_count par);
+  check_int "one shard sequentially" 1 (Metrics.shard_count seq);
+  check "merged snapshot equals sequential" true (Metrics.snapshot par = Metrics.snapshot seq);
+  match find_value par "hammer.q" with
+  | Metrics.Sketch_value s ->
+      check_int "sketch count" 20_000 s.Sketch.s_count;
+      check "sum exact on integer observations" true
+        (Float.is_integer s.Sketch.s_sum && s.Sketch.s_sum > 0.0)
+  | _ -> Alcotest.fail "hammer.q is not a sketch"
+
+let sketch_layout_mismatch_across_shards_rejected () =
+  let m =
+    on_four_domains (fun m k ->
+        let base = if k mod 2 = 0 then 1.25 else 2.0 in
+        Sketch.observe (Metrics.sketch m ~base "q.clash") 5.0)
+  in
+  Alcotest.check_raises "merge rejects differing sketch layouts"
+    (Invalid_argument "Metrics: sketch \"q.clash\" layouts differ across shards") (fun () ->
+      ignore (Metrics.snapshot m))
+
+let series_layout_mismatch_across_shards_rejected () =
+  let m =
+    on_four_domains (fun m k ->
+        let interval = if k mod 2 = 0 then 1.0 else 2.0 in
+        Series.observe (Metrics.series m ~interval "s.clash") ~ts:1.0 1.0)
+  in
+  Alcotest.check_raises "merge rejects differing series layouts"
+    (Invalid_argument "Metrics: series \"s.clash\" layouts differ across shards") (fun () ->
+      ignore (Metrics.snapshot m))
+
 (* -- Trace -------------------------------------------------------------- *)
 
 let span_nesting_in_ring () =
@@ -478,6 +671,30 @@ let () =
           Alcotest.test_case "histogram merge preserves overflow" `Quick
             histogram_merge_preserves_overflow;
           Alcotest.test_case "merge_into accumulates" `Quick merge_into_accumulates;
+        ] );
+      ( "sketch",
+        [
+          Alcotest.test_case "quantile error bounds" `Quick sketch_quantile_error_bounds;
+          Alcotest.test_case "estimates clamp to extrema" `Quick sketch_estimates_clamped_to_extrema;
+          Alcotest.test_case "guards" `Quick sketch_guards;
+          Alcotest.test_case "merge matches sequential" `Quick sketch_merge_matches_sequential;
+          Alcotest.test_case "summary round-trips quantiles" `Quick
+            sketch_summary_roundtrips_quantiles;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "bucketing and kinds" `Quick series_bucketing_kinds;
+          Alcotest.test_case "ring eviction" `Quick series_ring_eviction;
+          Alcotest.test_case "merge semantics" `Quick series_merge_semantics;
+        ] );
+      ( "sharded sketch/series",
+        [
+          Alcotest.test_case "4-domain hammer equals sequential" `Quick
+            sharded_sketch_series_equal_sequential;
+          Alcotest.test_case "sketch layout mismatch rejected" `Quick
+            sketch_layout_mismatch_across_shards_rejected;
+          Alcotest.test_case "series layout mismatch rejected" `Quick
+            series_layout_mismatch_across_shards_rejected;
         ] );
       ( "trace",
         [
