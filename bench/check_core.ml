@@ -14,11 +14,14 @@
      Speed-ups beyond tolerance pass but are flagged as a hint to refresh
      the baseline.  [--quick] multiplies tolerances by the baseline's
      [quick_factor] for noisy CI runners — still enough to catch
-     order-of-magnitude regressions. *)
+     order-of-magnitude regressions.
+   - The {e micro_throughput} section carries the same relative-tolerance
+     gate with the direction reversed: values are rates (e.g. engine
+     events/s), so a {e drop} beyond tolerance is the regression. *)
 
 module J = Bench_json
 
-let schema_version = 2
+let schema_version = 3
 
 type status = Ok | Improved | Regression | Missing | Mismatch
 
@@ -156,10 +159,53 @@ let check_micro ~quick ~baseline ~results =
   in
   (rows, extra)
 
+let check_throughput ~quick ~baseline ~results =
+  let base = match J.member "micro_throughput" baseline with Some m -> J.obj_members m | None -> [] in
+  let default_tol =
+    match Option.bind (J.mem_path [ "tolerances"; "micro_default_rel" ] baseline) J.to_num with
+    | Some t -> t
+    | None -> 0.5
+  in
+  let quick_factor =
+    if not quick then 1.0
+    else
+      match Option.bind (J.mem_path [ "tolerances"; "quick_factor" ] baseline) J.to_num with
+      | Some f -> f
+      | None -> 4.0
+  in
+  let tol_for name =
+    let per_metric =
+      Option.bind (J.mem_path [ "tolerances"; "throughput_rel"; name ] baseline) J.to_num
+    in
+    quick_factor *. Option.value per_metric ~default:default_tol
+  in
+  let rate f = Printf.sprintf "%.3g/s" f in
+  List.filter_map
+    (fun (name, bv) ->
+      let metric = "throughput." ^ name in
+      match
+        (J.to_num bv, Option.bind (J.mem_path [ "micro_throughput"; name ] results) J.to_num)
+      with
+      | Some b, Some r when b > 0.0 ->
+          let tol = tol_for name in
+          (* Reversed direction: positive delta means the rate dropped. *)
+          let delta = (b -. r) /. b in
+          let status =
+            if delta > tol then Regression else if delta < -.tol then Improved else Ok
+          in
+          Some
+            (row metric status ~baseline:(rate b) ~current:(rate r)
+               ~delta:(Printf.sprintf "%+.1f%%" (100.0 *. ((r -. b) /. b)))
+               ~tolerance:(Printf.sprintf "±%.0f%%" (100.0 *. tol)))
+      | Some b, None -> Some (row metric Missing ~baseline:(rate b) ~current:"absent")
+      | _ -> None)
+    base
+
 let check ?(quick = false) ~baseline ~results () =
   let micro_rows, micro_notes = check_micro ~quick ~baseline ~results in
   let rows =
     check_schema ~baseline ~results @ check_workload ~baseline ~results @ micro_rows
+    @ check_throughput ~quick ~baseline ~results
   in
   let notes =
     micro_notes
@@ -280,6 +326,7 @@ let default_tolerances =
       ("micro_default_rel", J.Num 0.5);
       ("quick_factor", J.Num 4.0);
       ("micro_rel", J.Obj []);
+      ("throughput_rel", J.Obj []);
     ]
 
 let baseline_of_results results =
@@ -293,5 +340,6 @@ let baseline_of_results results =
          Some ("schema_version", J.Num (float_of_int schema_version));
          Some ("workload", J.Obj workload);
          Option.map (fun v -> ("micro_ns_per_run", v)) (J.member "micro_ns_per_run" results);
+         Option.map (fun v -> ("micro_throughput", v)) (J.member "micro_throughput" results);
          Some ("tolerances", default_tolerances);
        ])

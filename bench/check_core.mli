@@ -1,4 +1,4 @@
-(** Comparison engine of the bench regression gate (schema version 2).
+(** Comparison engine of the bench regression gate (schema version 3).
 
     Checks a harness-produced [BENCH_RESULTS.json] against a committed
     baseline:
@@ -13,7 +13,11 @@
       [tolerances.micro_default_rel] (default 0.5).  Only slowdowns beyond
       tolerance fail; speed-ups beyond it pass with a refresh-the-baseline
       note.  [~quick:true] multiplies micro tolerances by
-      [tolerances.quick_factor] (default 4) for noisy CI runners.
+      [tolerances.quick_factor] (default 4) for noisy CI runners;
+    - each [micro_throughput] entry (a rate, e.g. engine events/s) is gated
+      the same way with the direction reversed — a {e drop} beyond the
+      [tolerances.throughput_rel.<name>] (or default) tolerance fails,
+      a rise passes with a note.
 
     Baseline metrics absent from the results fail as [Missing]; results
     metrics absent from the baseline are reported as notes only. *)

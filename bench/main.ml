@@ -35,6 +35,7 @@ module Smrp = Smrp_core.Smrp
 module Reshape = Smrp_core.Reshape
 module Failure = Smrp_core.Failure
 module Recovery = Smrp_core.Recovery
+module Engine = Smrp_sim.Engine
 module Metrics = Smrp_obs.Metrics
 module Trace = Smrp_obs.Trace
 module Profile = Smrp_obs.Profile
@@ -284,9 +285,22 @@ let micro () =
         (Staged.stage (fun () ->
              ignore (Recovery.global_detour ~ws s.Scenario.smrp_tree worst ~member:victim)));
       Test.make ~name:"reshape_stabilize"
-        (Staged.stage (fun () ->
-             let t = Smrp.build ~d_thresh:0.3 ~ws graph ~source ~members in
-             ignore (Reshape.stabilize ~d_thresh:0.3 ~ws t)));
+        (let base = Smrp.build ~d_thresh:0.3 ~ws graph ~source ~members in
+         Staged.stage (fun () ->
+             ignore (Reshape.stabilize ~d_thresh:0.3 ~ws (Tree.copy base))));
+      Test.make ~name:"engine_1024_events"
+        (* One engine reused across runs, as a long simulation would: each
+           run schedules a spread of int-coded events and drains them. *)
+        (let eng = Engine.create () in
+         let code = Engine.register eng (fun _ _ -> ()) in
+         Staged.stage (fun () ->
+             for k = 0 to 1023 do
+               ignore
+                 (Engine.schedule_code eng
+                    ~delay:(0.001 *. float_of_int (k land 63))
+                    ~code ~a:k ~b:0)
+             done;
+             Engine.run eng));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -315,16 +329,31 @@ let micro () =
            | None -> (name, ns))
          !rows)
   in
+  (* The engine batch bench reports as throughput: 1024 int-coded events
+     per run, so events/s = 1024e9 / ns-per-run.  It lives in its own
+     results section because its regression direction is reversed (lower is
+     worse). *)
+  let micro_rows, throughput_rows =
+    List.fold_left
+      (fun (m, t) (name, ns) ->
+        if String.equal name "engine_1024_events" then
+          (m, ("engine_events_per_sec", 1024e9 /. ns) :: t)
+        else ((name, ns) :: m, t))
+      ([], []) (List.rev rows)
+  in
   List.iter
     (fun (name, ns) -> Printf.printf "%-28s %12.1f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
-    rows;
-  rows
+    micro_rows;
+  List.iter
+    (fun (name, per_s) -> Printf.printf "%-28s %12.3g events/s\n" name per_s)
+    throughput_rows;
+  (micro_rows, throughput_rows)
 
 (* -- BENCH_RESULTS.json / BENCH_HISTORY.jsonl -------------------------- *)
 
 let obj_of_rows rows = J.Obj (List.map (fun (n, v) -> (n, J.Num v)) rows)
 
-let write_results ~workload:w ~micro_rows =
+let write_results ~workload:w ~micro_rows ~throughput_rows =
   let results =
     J.Obj
       [
@@ -340,6 +369,7 @@ let write_results ~workload:w ~micro_rows =
               ("fig9_metrics", obj_of_rows w.wl_metrics);
             ] );
         ("micro_ns_per_run", obj_of_rows micro_rows);
+        ("micro_throughput", obj_of_rows throughput_rows);
         ( "figures_wall_clock_s",
           J.Obj
             (List.map
@@ -363,6 +393,7 @@ let write_results ~workload:w ~micro_rows =
         ("schema_version", J.Num (float_of_int Bench_support.Check_core.schema_version));
         ("fig9_digest", J.Str w.digest);
         ("micro_ns_per_run", obj_of_rows micro_rows);
+        ("micro_throughput", obj_of_rows throughput_rows);
       ]
   in
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 "BENCH_HISTORY.jsonl" in
@@ -378,6 +409,6 @@ let () =
   extensions ();
   report ();
   let w = workload () in
-  let micro_rows = micro () in
-  write_results ~workload:w ~micro_rows;
+  let micro_rows, throughput_rows = micro () in
+  write_results ~workload:w ~micro_rows ~throughput_rows;
   print_newline ()

@@ -323,14 +323,14 @@ let fuzz_cmd =
   let module Fuzz = Smrp_check.Fuzz in
   let module Case = Smrp_check.Case in
   let module Exec = Smrp_check.Exec in
-  let replay_one ~bug file =
+  let replay_one ~bug ~engine_diff file =
     match Case.load file with
     | Error msg ->
         Printf.eprintf "fuzz: cannot load %s: %s\n" file msg;
         exit 2
     | Ok case -> (
         Format.printf "%a@." Case.pp case;
-        match Fuzz.replay ~bug case with
+        match Fuzz.replay ~bug ~engine_diff case with
         | Exec.Pass s ->
             Printf.printf "replay: all invariants held (%d event(s) applied, %d skipped)\n"
               s.Exec.applied s.Exec.skipped;
@@ -339,9 +339,9 @@ let fuzz_cmd =
             Format.printf "replay: VIOLATION %a@." Exec.pp_violation v;
             exit 1)
   in
-  let campaign ~seed ~runs ~bug ~max_nodes ~out =
+  let campaign ~seed ~runs ~bug ~engine_diff ~max_nodes ~out =
     let params = { Smrp_check.Gen.default with Smrp_check.Gen.max_nodes } in
-    let report = Fuzz.run { Fuzz.default with Fuzz.seed; runs; bug; params } in
+    let report = Fuzz.run { Fuzz.default with Fuzz.seed; runs; bug; params; engine_diff } in
     print_string (Fuzz.render report);
     match report.Fuzz.failures with
     | [] -> exit 0
@@ -354,7 +354,7 @@ let fuzz_cmd =
           | b -> Printf.sprintf " --inject %s" (Exec.bug_to_string b));
         exit 1
   in
-  let run seed runs inject replay max_nodes out =
+  let run seed runs inject engine_diff replay max_nodes out =
     let bug =
       match Exec.bug_of_string inject with
       | Ok b -> b
@@ -362,9 +362,13 @@ let fuzz_cmd =
           Printf.eprintf "fuzz: %s\n" msg;
           exit 2
     in
+    if engine_diff && bug <> Exec.No_bug then begin
+      Printf.eprintf "fuzz: --engine-diff replays the real stack; --inject does not apply\n";
+      exit 2
+    end;
     match replay with
-    | Some file -> replay_one ~bug file
-    | None -> campaign ~seed ~runs ~bug ~max_nodes ~out
+    | Some file -> replay_one ~bug ~engine_diff file
+    | None -> campaign ~seed ~runs ~bug ~engine_diff ~max_nodes ~out
   in
   let runs =
     Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Random cases to execute.")
@@ -377,6 +381,15 @@ let fuzz_cmd =
             "Deliberately inject a protocol bug (oracle self-test): $(b,skip-shr) drops an \
              N_R/SHR bookkeeping update on every join; $(b,drop-member) makes reshaping \
              silently unsubscribe a member; $(b,none) fuzzes the real stack.")
+  in
+  let engine_diff =
+    Arg.(
+      value & flag
+      & info [ "engine-diff" ]
+          ~doc:
+            "Engine-differential mode: replay each case as a packet-level simulation on both \
+             the timer-wheel and the reference-heap event queues and fail unless the engine \
+             fingerprint, frame accounting and member reports are byte-identical.")
   in
   let replay =
     Arg.(
@@ -402,7 +415,7 @@ let fuzz_cmd =
          "Fault-injection fuzzing: random topologies and event schedules driven through \
           Session/Recovery/Reshape with invariant oracles after every event; failures shrink \
           to replayable repro files.")
-    Term.(const run $ seed_arg 42 $ runs $ inject $ replay $ max_nodes $ out)
+    Term.(const run $ seed_arg 42 $ runs $ inject $ engine_diff $ replay $ max_nodes $ out)
 
 let ablations_cmd =
   let run seed scenarios =

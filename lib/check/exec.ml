@@ -356,6 +356,28 @@ let run ?(bug = No_bug) (case : Case.t) =
 
 let fails ?bug case = match run ?bug case with Fail _ -> true | Pass _ -> false
 
+(* -- Engine differential ------------------------------------------------ *)
+
+(* The whole-run oracle has no single offending event; violations anchor at
+   the schedule head so the report and shrinker machinery apply unchanged. *)
+let anchor (case : Case.t) =
+  match case.Case.events with ev :: _ -> ev | [] -> Case.Reshape
+
+let run_engine_diff (case : Case.t) =
+  match Engine_diff.check case with
+  | { Engine_diff.mismatch = None; applied; skipped } ->
+      Pass { applied; skipped; repairs = 0; lost = 0; switches = 0 }
+  | { Engine_diff.mismatch = Some message; _ } ->
+      Fail { index = 0; event = anchor case; oracle = "engine-differential"; message }
+  | exception exn ->
+      Fail
+        {
+          index = 0;
+          event = anchor case;
+          oracle = "exception";
+          message = Printf.sprintf "engine-differential replay raised %s" (Printexc.to_string exn);
+        }
+
 let pp_violation ppf v =
   Format.fprintf ppf "event %d (%a): oracle %S: %s" v.index Case.pp_event v.event v.oracle
     v.message

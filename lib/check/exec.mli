@@ -48,4 +48,13 @@ val run : ?bug:bug -> Case.t -> outcome
 val fails : ?bug:bug -> Case.t -> bool
 (** [true] iff {!run} returns [Fail] — the shrinker's predicate. *)
 
+val run_engine_diff : Case.t -> outcome
+(** Execute the case through {!Engine_diff} instead of the tree-level
+    session: the same event schedule drives a packet-level simulation on
+    both the timer-wheel and the reference-heap engines, and the run fails
+    unless every observable — engine fingerprint, frame accounting, member
+    reports — is byte-identical.  The violation (oracle
+    ["engine-differential"]) anchors at event 0 because the property is a
+    whole-run comparison. *)
+
 val pp_violation : Format.formatter -> violation -> unit

@@ -6,10 +6,18 @@ type config = {
   bug : Exec.bug;
   params : Gen.params;
   max_failures : int;
+  engine_diff : bool;
 }
 
 let default =
-  { seed = 42; runs = 500; bug = Exec.No_bug; params = Gen.default; max_failures = 1 }
+  {
+    seed = 42;
+    runs = 500;
+    bug = Exec.No_bug;
+    params = Gen.default;
+    max_failures = 1;
+    engine_diff = false;
+  }
 
 type failure = { run : int; case : Case.t; shrunk : Case.t; violation : Exec.violation }
 
@@ -23,7 +31,8 @@ type report = {
   failures : failure list;
 }
 
-let replay ?bug case = Exec.run ?bug case
+let replay ?bug ?(engine_diff = false) case =
+  if engine_diff then Exec.run_engine_diff case else Exec.run ?bug case
 
 let run config =
   let rng = Rng.create config.seed in
@@ -31,12 +40,16 @@ let run config =
     ref { runs = 0; applied = 0; skipped = 0; repairs = 0; lost = 0; switches = 0; failures = [] }
   in
   let bug = match config.bug with Exec.No_bug -> None | b -> Some b in
+  let execute case =
+    if config.engine_diff then Exec.run_engine_diff case else Exec.run ?bug case
+  in
+  let case_fails case = match execute case with Exec.Fail _ -> true | Exec.Pass _ -> false in
   (let continue = ref true in
    let i = ref 0 in
    while !continue && !i < config.runs do
      let case_rng = Rng.split rng in
      let case = Gen.case ~params:config.params case_rng in
-     (match Exec.run ?bug case with
+     (match execute case with
      | Exec.Pass s ->
          report :=
            {
@@ -49,9 +62,9 @@ let run config =
              switches = !report.switches + s.Exec.switches;
            }
      | Exec.Fail _ ->
-         let shrunk = Shrink.shrink ~fails:(Exec.fails ?bug) case in
+         let shrunk = Shrink.shrink ~fails:case_fails case in
          let violation =
-           match Exec.run ?bug shrunk with
+           match execute shrunk with
            | Exec.Fail v -> v
            | Exec.Pass _ -> assert false (* shrink only returns failing cases *)
          in

@@ -11,10 +11,16 @@ type config = {
   bug : Exec.bug;  (** Deliberate fault to inject (oracle self-test). *)
   params : Gen.params;
   max_failures : int;  (** Stop the campaign after this many failures (default 1). *)
+  engine_diff : bool;
+      (** Run {!Exec.run_engine_diff} instead of the tree-level executor:
+          each case replays as a packet-level simulation on both the
+          timer-wheel and reference-heap engines and must produce
+          byte-identical outcomes.  [bug] is ignored in this mode. *)
 }
 
 val default : config
-(** seed 42, 500 runs, no bug, default generator, stop at the first failure. *)
+(** seed 42, 500 runs, no bug, default generator, stop at the first failure,
+    tree-level executor. *)
 
 type failure = {
   run : int;  (** Campaign iteration that failed. *)
@@ -35,8 +41,9 @@ type report = {
 
 val run : config -> report
 
-val replay : ?bug:Exec.bug -> Case.t -> Exec.outcome
-(** Re-execute one case (e.g. loaded from a repro file). *)
+val replay : ?bug:Exec.bug -> ?engine_diff:bool -> Case.t -> Exec.outcome
+(** Re-execute one case (e.g. loaded from a repro file), through the
+    engine-differential replay when [engine_diff] is set. *)
 
 val render : report -> string
 (** Human-readable campaign summary (one paragraph, plus each failure's

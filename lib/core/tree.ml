@@ -42,6 +42,24 @@ let graph t = t.graph
 
 let source t = t.source
 
+(* Deep copy sharing only the (immutable-in-practice) graph: the benchmark
+   and differential-test workhorse — mutate the copy, keep the original. *)
+let copy t =
+  {
+    graph = t.graph;
+    source = t.source;
+    parent = Array.copy t.parent;
+    parent_edge = Array.copy t.parent_edge;
+    children = Array.copy t.children;
+    on_tree = Array.copy t.on_tree;
+    member = Array.copy t.member;
+    n_r = Array.copy t.n_r;
+    delay = Array.copy t.delay;
+    member_count = t.member_count;
+    shr_cache = Array.copy t.shr_cache;
+    shr_valid = t.shr_valid;
+  }
+
 let check_node t v name =
   if v < 0 || v >= Graph.node_count t.graph then
     invalid_arg (Printf.sprintf "Tree.%s: node %d out of range" name v)
@@ -70,6 +88,15 @@ let on_tree_nodes t = collect t (fun v -> t.on_tree.(v))
 let parent t v =
   check_node t v "parent";
   if t.parent.(v) < 0 then None else Some t.parent.(v)
+
+(* Option-free accessors for hot parent walks (reshape evaluation). *)
+let parent_id t v =
+  check_node t v "parent_id";
+  t.parent.(v)
+
+let parent_edge_id t v =
+  check_node t v "parent_edge_id";
+  t.parent_edge.(v)
 
 let parent_edge t v =
   check_node t v "parent_edge";

@@ -25,6 +25,11 @@ val graph : t -> Smrp_graph.Graph.t
 
 val source : t -> int
 
+val copy : t -> t
+(** Independent deep copy (the underlying graph is shared).  Mutating the
+    copy never affects the original — the building block for benchmark
+    closures and differential tests that replay the same tree repeatedly. *)
+
 val is_on_tree : t -> int -> bool
 
 val is_member : t -> int -> bool
@@ -39,6 +44,13 @@ val on_tree_nodes : t -> int list
 
 val parent : t -> int -> int option
 (** Upstream node; [None] for the source. *)
+
+val parent_id : t -> int -> int
+(** Upstream node as a raw id, [-1] for the source or an off-tree node —
+    the option-free variant for hot parent walks. *)
+
+val parent_edge_id : t -> int -> int
+(** Upstream edge id, [-1] when there is none. *)
 
 val parent_edge : t -> int -> int option
 

@@ -75,7 +75,8 @@ let check_fresh r =
   if r.epoch <> r.ws.epoch then
     invalid_arg "Dijkstra: result invalidated by a later run on the same workspace"
 
-let run ?node_ok ?edge_ok ?absorb ?workspace:ws g ~source =
+let run ?node_ok ?edge_ok ?absorb ?dist_bound ?workspace:ws g ~source =
+  let dist_bound = match dist_bound with Some b -> b | None -> infinity in
   let n = Graph.node_count g in
   if source < 0 || source >= n then invalid_arg "Dijkstra.run: source out of range";
   (match node_ok with
@@ -157,8 +158,13 @@ let run ?node_ok ?edge_ok ?absorb ?workspace:ws g ~source =
         let u = Int_heap.top heap in
         Int_heap.drop heap;
         if Array.unsafe_get settled u <> epoch then begin
-          Array.unsafe_set settled u epoch;
-          relax u
+          (* Pops come in nondecreasing distance order: once one exceeds
+             [dist_bound], no unsettled node can be within it. *)
+          if Array.unsafe_get dist u > dist_bound then Int_heap.clear heap
+          else begin
+            Array.unsafe_set settled u epoch;
+            relax u
+          end
         end
       done
   | None, None, Some absorb ->
@@ -168,8 +174,66 @@ let run ?node_ok ?edge_ok ?absorb ?workspace:ws g ~source =
         let u = Int_heap.top heap in
         Int_heap.drop heap;
         if Array.unsafe_get settled u <> epoch then begin
-          Array.unsafe_set settled u epoch;
-          if u = source || not (absorb u) then relax u
+          if Array.unsafe_get dist u > dist_bound then Int_heap.clear heap
+          else begin
+            Array.unsafe_set settled u epoch;
+            if u = source || not (absorb u) then relax u
+          end
+        end
+      done
+  | Some node_ok, None, Some absorb ->
+      (* Node-filtered absorbing search with no edge filter — the reshape
+         candidate evaluation.  One [node_ok] call per edge target; heap
+         pushes stay inlined as in [relax] so no float is boxed. *)
+      let relax_ok u =
+        let d = Array.unsafe_get dist u in
+        let stop = Array.unsafe_get offsets (u + 1) in
+        for i = Array.unsafe_get offsets u to stop - 1 do
+          let v = Array.unsafe_get nbr i in
+          if Array.unsafe_get settled v <> epoch && node_ok v then begin
+            let d' = d +. Array.unsafe_get delays i in
+            if Array.unsafe_get visited v <> epoch || d' < Array.unsafe_get dist v then begin
+              Array.unsafe_set dist v d';
+              Array.unsafe_set parent v u;
+              Array.unsafe_set parent_edge v (Array.unsafe_get eids i);
+              Array.unsafe_set visited v epoch;
+              Int_heap.grow heap;
+              let pa = heap.Int_heap.prio
+              and sa = heap.Int_heap.seq
+              and va = heap.Int_heap.value in
+              let seq = heap.Int_heap.next_seq in
+              heap.Int_heap.next_seq <- seq + 1;
+              let j = ref heap.Int_heap.size in
+              heap.Int_heap.size <- !j + 1;
+              let continue = ref (!j > 0) in
+              while !continue do
+                let p = (!j - 1) / 2 in
+                let pp = Array.unsafe_get pa p in
+                if d' < pp || (d' = pp && seq < Array.unsafe_get sa p) then begin
+                  Array.unsafe_set pa !j pp;
+                  Array.unsafe_set sa !j (Array.unsafe_get sa p);
+                  Array.unsafe_set va !j (Array.unsafe_get va p);
+                  j := p;
+                  continue := p > 0
+                end
+                else continue := false
+              done;
+              Array.unsafe_set pa !j d';
+              Array.unsafe_set sa !j seq;
+              Array.unsafe_set va !j v
+            end
+          end
+        done
+      in
+      while not (Int_heap.is_empty heap) do
+        let u = Int_heap.top heap in
+        Int_heap.drop heap;
+        if Array.unsafe_get settled u <> epoch then begin
+          if Array.unsafe_get dist u > dist_bound then Int_heap.clear heap
+          else begin
+            Array.unsafe_set settled u epoch;
+            if u = source || not (absorb u) then relax_ok u
+          end
         end
       done
   | _ ->
@@ -179,7 +243,8 @@ let run ?node_ok ?edge_ok ?absorb ?workspace:ws g ~source =
       while not (Int_heap.is_empty heap) do
         let u = Int_heap.top heap in
         Int_heap.drop heap;
-        if settled.(u) <> epoch then begin
+        if settled.(u) <> epoch && dist.(u) > dist_bound then Int_heap.clear heap
+        else if settled.(u) <> epoch then begin
           settled.(u) <- epoch;
           (* An absorbing node terminates the search along its branch: it
              can be a shortest-path target but contributes no further
@@ -279,6 +344,8 @@ let distance r v =
 let reachable r v =
   check_fresh r;
   r.ws.visited.(v) = r.epoch
+
+let unsafe_distance r v = Array.unsafe_get r.ws.dist v
 
 let parent r v =
   check_fresh r;

@@ -42,6 +42,7 @@ val run :
   ?node_ok:(int -> bool) ->
   ?edge_ok:(int -> bool) ->
   ?absorb:(int -> bool) ->
+  ?dist_bound:float ->
   ?workspace:workspace ->
   Graph.t ->
   source:int ->
@@ -49,7 +50,14 @@ val run :
 (** With [?workspace], the result {e borrows} the workspace arrays and is
     valid only until the next [run] on the same workspace; accessors raise
     [Invalid_argument] on a stale result.  Without it, a private workspace is
-    allocated and the result stays valid indefinitely. *)
+    allocated and the result stays valid indefinitely.
+
+    [dist_bound] truncates the search: settling stops at the first node
+    whose distance exceeds the bound.  Every node whose true distance is
+    [<= dist_bound] is still settled with its exact distance and path;
+    beyond the bound a node may read as unreachable or report a tentative
+    (over-estimated) distance, so callers must ignore results past the
+    bound. *)
 
 val run_reference :
   ?node_ok:(int -> bool) ->
@@ -69,6 +77,12 @@ val distance : result -> int -> float option
 (** Shortest-path delay, [None] if unreachable. *)
 
 val reachable : result -> int -> bool
+
+val unsafe_distance : result -> int -> float
+(** The raw distance cell of a node, with no freshness or reachability
+    check: meaningful only when {!reachable} just returned [true] for the
+    same result.  Exists for scan loops that have already filtered on
+    {!reachable} and must not allocate an option per node. *)
 
 val parent : result -> int -> int option
 (** Predecessor on the shortest path tree. *)

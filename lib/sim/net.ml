@@ -11,10 +11,15 @@ type meters = {
   m_drop_series : Smrp_obs.Series.t; (* drops per sim second, all causes *)
 }
 
+(* In-flight frames live in a pooled struct-of-arrays table; delivery is a
+   single registered engine code whose payload word is the frame slot, so a
+   send allocates nothing (the generic ['msg] column is the one lazily
+   created array, reused across frames). *)
 type 'msg t = {
   engine : Engine.t;
   graph : Graph.t;
-  handler : 'msg t -> at:int -> from:int -> 'msg -> unit;
+  handler : 'msg t -> at:int -> from:int -> eid:int -> 'msg -> unit;
+  on_drop : ('msg -> unit) option;
   link_down : bool array;
   node_down : bool array;
   mutable loss : (Smrp_rng.Rng.t * float) option;
@@ -26,40 +31,20 @@ type 'msg t = {
   msg_label : ('msg -> string) option;
   trace : Trace.t;
   meters : meters option;
+  (* frame pool (free list threaded through fr_next) *)
+  mutable fr_src : int array;
+  mutable fr_dst : int array;
+  mutable fr_eid : int array;
+  mutable fr_next : int array;
+  mutable fr_sent : float array;
+  mutable fr_msg : 'msg array; (* length 0 until the first send *)
+  mutable fr_free : int;
+  mutable deliver_code : int;
 }
 
-let create ?obs ?msg_label engine graph ~handler =
-  let obs = match obs with Some _ as o -> o | None -> Engine.obs engine in
-  let meters =
-    Option.map
-      (fun o ->
-        let m = Smrp_obs.Obs.metrics o in
-        {
-          m_sent = Metrics.counter m "net.frames_sent";
-          m_delivered = Metrics.counter m "net.frames_delivered";
-          m_lost = Metrics.counter m "net.frames_lost";
-          m_dropped_send = Metrics.counter m "net.frames_dropped_failure_at_send";
-          m_dropped_flight = Metrics.counter m "net.frames_dropped_failure_in_flight";
-          m_drop_series = Metrics.series m ~kind:Smrp_obs.Series.Sum "net.frame_drops";
-        })
-      obs
-  in
-  {
-    engine;
-    graph;
-    handler;
-    link_down = Array.make (Graph.edge_count graph) false;
-    node_down = Array.make (Graph.node_count graph) false;
-    loss = None;
-    frames_sent = 0;
-    frames_delivered = 0;
-    frames_lost = 0;
-    dropped_send_failure = 0;
-    dropped_in_flight = 0;
-    msg_label;
-    trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
-    meters;
-  }
+let frame_cap0 = 64
+
+let free_chain n off = Array.init n (fun i -> if i = n - 1 then -1 else off + i + 1)
 
 let engine t = t.engine
 
@@ -80,6 +65,108 @@ let meter_drop t =
   | Some m -> Smrp_obs.Series.observe m.m_drop_series ~ts:(Engine.now t.engine) 1.0
   | None -> ()
 
+(* A frame (or its payload) is gone for good: give the layer above a chance
+   to reclaim whatever the message indexes. *)
+let[@inline] drop t msg = match t.on_drop with Some f -> f msg | None -> ()
+
+let grow_frames t =
+  let cap = Array.length t.fr_src in
+  let ext a = Array.append a (Array.make cap 0) in
+  t.fr_src <- ext t.fr_src;
+  t.fr_dst <- ext t.fr_dst;
+  t.fr_eid <- ext t.fr_eid;
+  t.fr_next <- Array.append t.fr_next (free_chain cap cap);
+  t.fr_sent <- Array.append t.fr_sent (Array.make cap 0.0);
+  t.fr_msg <- Array.append t.fr_msg (Array.make cap t.fr_msg.(0));
+  t.fr_free <- cap
+
+let[@inline] alloc_frame t msg =
+  if Array.length t.fr_msg = 0 then t.fr_msg <- Array.make (Array.length t.fr_src) msg;
+  if t.fr_free = -1 then grow_frames t;
+  let s = t.fr_free in
+  t.fr_free <- t.fr_next.(s);
+  s
+
+let[@inline] release_frame t s =
+  t.fr_next.(s) <- t.fr_free;
+  t.fr_free <- s
+
+let deliver t slot =
+  let src = t.fr_src.(slot) in
+  let dst = t.fr_dst.(slot) in
+  let eid = t.fr_eid.(slot) in
+  let sent_at = t.fr_sent.(slot) in
+  let msg = t.fr_msg.(slot) in
+  release_frame t slot;
+  (* The wire may have gone down while the frame was in flight. *)
+  if (not t.link_down.(eid)) && (not t.node_down.(src)) && not t.node_down.(dst) then begin
+    t.frames_delivered <- t.frames_delivered + 1;
+    meter t (fun m -> m.m_delivered);
+    if Trace.enabled t.trace then
+      Trace.complete t.trace ~ts:sent_at
+        ~dur:(Engine.now t.engine -. sent_at)
+        ~cat:"net" ~tid:src
+        ~args:[ ("dst", Trace.Int dst) ]
+        (label t msg);
+    t.handler t ~at:dst ~from:src ~eid msg
+  end
+  else begin
+    t.dropped_in_flight <- t.dropped_in_flight + 1;
+    meter t (fun m -> m.m_dropped_flight);
+    meter_drop t;
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
+        ~args:[ ("dst", Trace.Int dst) ]
+        ("drop.in_flight:" ^ label t msg);
+    drop t msg
+  end
+
+let create ?obs ?msg_label ?on_drop engine graph ~handler =
+  let obs = match obs with Some _ as o -> o | None -> Engine.obs engine in
+  let meters =
+    Option.map
+      (fun o ->
+        let m = Smrp_obs.Obs.metrics o in
+        {
+          m_sent = Metrics.counter m "net.frames_sent";
+          m_delivered = Metrics.counter m "net.frames_delivered";
+          m_lost = Metrics.counter m "net.frames_lost";
+          m_dropped_send = Metrics.counter m "net.frames_dropped_failure_at_send";
+          m_dropped_flight = Metrics.counter m "net.frames_dropped_failure_in_flight";
+          m_drop_series = Metrics.series m ~kind:Smrp_obs.Series.Sum "net.frame_drops";
+        })
+      obs
+  in
+  let t =
+    {
+      engine;
+      graph;
+      handler;
+      on_drop;
+      link_down = Array.make (Graph.edge_count graph) false;
+      node_down = Array.make (Graph.node_count graph) false;
+      loss = None;
+      frames_sent = 0;
+      frames_delivered = 0;
+      frames_lost = 0;
+      dropped_send_failure = 0;
+      dropped_in_flight = 0;
+      msg_label;
+      trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
+      meters;
+      fr_src = Array.make frame_cap0 0;
+      fr_dst = Array.make frame_cap0 0;
+      fr_eid = Array.make frame_cap0 0;
+      fr_next = free_chain frame_cap0 0;
+      fr_sent = Array.make frame_cap0 0.0;
+      fr_msg = [||];
+      fr_free = 0;
+      deliver_code = 0;
+    }
+  in
+  t.deliver_code <- Engine.register engine (fun slot _ -> deliver t slot);
+  t
+
 let send t ~src ~dst msg =
   match Graph.edge_between t.graph src dst with
   | None -> invalid_arg "Net.send: nodes not adjacent"
@@ -93,6 +180,7 @@ let send t ~src ~dst msg =
           Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
             ~args:[ ("dst", Trace.Int dst) ]
             ("drop.down:" ^ label t msg);
+        drop t msg;
         false
       end
       else begin
@@ -108,34 +196,18 @@ let send t ~src ~dst msg =
                 Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
                   ~args:[ ("dst", Trace.Int dst) ]
                   ("drop.loss:" ^ label t msg);
+              drop t msg;
               true
           | _ -> false
         in
         if not lost then begin
-          let sent_at = Engine.now t.engine in
-          ignore
-            (Engine.schedule t.engine ~delay:e.Graph.delay (fun () ->
-                 (* The wire may have gone down while the frame was in
-                    flight. *)
-                 if (not t.link_down.(eid)) && (not t.node_down.(src)) && not t.node_down.(dst)
-                 then begin
-                   t.frames_delivered <- t.frames_delivered + 1;
-                   meter t (fun m -> m.m_delivered);
-                   if Trace.enabled t.trace then
-                     Trace.complete t.trace ~ts:sent_at ~dur:e.Graph.delay ~cat:"net" ~tid:src
-                       ~args:[ ("dst", Trace.Int dst) ]
-                       (label t msg);
-                   t.handler t ~at:dst ~from:src msg
-                 end
-                 else begin
-                   t.dropped_in_flight <- t.dropped_in_flight + 1;
-                   meter t (fun m -> m.m_dropped_flight);
-                   meter_drop t;
-                   if Trace.enabled t.trace then
-                     Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"net" ~tid:src
-                       ~args:[ ("dst", Trace.Int dst) ]
-                       ("drop.in_flight:" ^ label t msg)
-                 end))
+          let slot = alloc_frame t msg in
+          t.fr_src.(slot) <- src;
+          t.fr_dst.(slot) <- dst;
+          t.fr_eid.(slot) <- eid;
+          t.fr_sent.(slot) <- Engine.now t.engine;
+          t.fr_msg.(slot) <- msg;
+          Engine.schedule_code t.engine ~delay:e.Graph.delay ~code:t.deliver_code ~a:slot ~b:0
         end;
         true
       end

@@ -10,11 +10,18 @@ type 'msg t
 val create :
   ?obs:Smrp_obs.Obs.t ->
   ?msg_label:('msg -> string) ->
+  ?on_drop:('msg -> unit) ->
   Engine.t ->
   Smrp_graph.Graph.t ->
-  handler:('msg t -> at:int -> from:int -> 'msg -> unit) ->
+  handler:('msg t -> at:int -> from:int -> eid:int -> 'msg -> unit) ->
   'msg t
-(** [handler] is invoked at delivery time on the receiving node.
+(** [handler] is invoked at delivery time on the receiving node; [eid] is
+    the id of the edge the frame arrived on (useful for flat per-link
+    state without an edge lookup).
+
+    [on_drop] is called with the message of every frame that will never be
+    delivered — rejected at send time, Bernoulli-lost, or killed in flight
+    — so layers that index side payloads by message can reclaim them.
 
     [obs] defaults to the engine's context ({!Engine.obs}); when present the
     net maintains [net.frames_*] counters and, when its trace sink is live,

@@ -45,33 +45,28 @@ let default_config =
     d_thresh = 0.3;
   }
 
-type msg =
-  | Hello
-  | Join_req of { requester : int; remaining : int list }
-  | Query of { requester : int; path : int list (* requester-first, including self hops *) }
-  | Query_resp of { shr : int; tree_delay : float; path : int list; back : int list }
-  | Refresh
-  | Prune
-  | Data of { seq : int }
+(* Wire messages are packed ints: the low 3 bits are the type tag, the rest
+   is either an immediate payload (data sequence number) or a slot index
+   into a side pool holding the variable-length part (join / query paths).
+   Hot-path messages (hello, refresh, prune, data) carry no pool slot, so
+   sending them allocates nothing at all. *)
+type msg = int
 
-type node_state = {
-  mutable member : bool;
-  mutable parent : int option;
-  children : (int, float) Hashtbl.t; (* child -> soft-state expiry *)
-  hello_seen : (int, float) Hashtbl.t;
-  mutable last_data : float;
-  mutable last_forwarded_seq : int;
-  mutable data_received : int;
-  mutable recovering : bool;
-  mutable query_responses : (int * float * int list) list;
-      (* (SHR, merge tree delay, path requester..merge) collected while a
-         query-scheme join is pending *)
-  mutable attach : int list; (* stored hops towards the merge node, for
-                                 periodic join refresh (PIM-style) *)
-  mutable disrupted_at : float option;
-  mutable last_attempt : float;
-  mutable restored_at : float option;
-}
+let tag_hello = 0
+let tag_refresh = 1
+let tag_prune = 2
+let tag_data = 3
+let tag_join = 4
+let tag_query = 5
+let tag_resp = 6
+
+let msg_hello = tag_hello
+let msg_refresh = tag_refresh
+let msg_prune = tag_prune
+let[@inline] msg_data seq = (seq lsl 3) lor tag_data
+let[@inline] msg_join slot = (slot lsl 3) lor tag_join
+let[@inline] msg_query slot = (slot lsl 3) lor tag_query
+let[@inline] msg_resp slot = (slot lsl 3) lor tag_resp
 
 type member_report = {
   member : int;
@@ -98,13 +93,18 @@ type meters = {
   s_disrupted : Smrp_obs.Series.t; (* members currently disrupted, over sim time *)
 }
 
+(* Per-node soft state as struct-of-arrays: flat int/float/bool columns
+   indexed by node id instead of per-node records full of Hashtbls.  Children
+   are per-node (id, expiry) growable parallel arrays scanned inline — child
+   sets are small (tree degree) so a scan beats hashing.  Hello liveness is
+   one flat float per directed edge endpoint.  [nan] / [neg_infinity] /
+   [-1] stand in for the absent case of what used to be options. *)
 type t = {
   engine : Engine.t;
   config : config;
   graph : Graph.t;
   source : int;
   mutable net : msg Net.t option; (* set right after creation *)
-  nodes : node_state array;
   mutable tree : Tree.t;
   mutable failure : Failure.t option;
   mutable failure_time : float;
@@ -117,6 +117,49 @@ type t = {
   mutable prune_sent : int;
   mutable next_seq : int;
   mutable disrupted_now : int; (* members detected-but-not-yet-restored *)
+  (* node columns *)
+  n_member : bool array;
+  n_parent : int array; (* -1 = none *)
+  n_last_data : float array;
+  n_last_forwarded : int array;
+  n_data_received : int array;
+  n_recovering : bool array;
+  n_disrupted_at : float array; (* nan = never *)
+  n_restored_at : float array; (* nan = never *)
+  n_last_attempt : float array;
+  n_responses : (int * float * int list) list array;
+      (* (SHR, merge tree delay, path requester..merge) collected while a
+         query-scheme join is pending — cold, kept as lists *)
+  (* children: parallel (id, soft-state expiry) arrays per node *)
+  ch_id : int array array;
+  ch_expiry : float array array;
+  ch_n : int array;
+  (* stored hops towards the merge node, for periodic join refresh
+     (PIM-style): at_path.(v).(0..at_len v) is next-hop-first *)
+  at_path : int array array;
+  at_len : int array;
+  (* last hello arrival per directed edge endpoint: index 2*eid + side,
+     side 0 = the edge's [u] endpoint heard it *)
+  hello_seen : float array;
+  (* side pools for variable-length message payloads *)
+  mutable j_req : int array;
+  mutable j_path : int array array;
+  mutable j_plen : int array;
+  mutable j_idx : int array;
+  mutable j_next : int array;
+  mutable j_free : int;
+  mutable q_req : int array;
+  mutable q_path : int array array;
+  mutable q_plen : int array;
+  mutable q_next : int array;
+  mutable q_free : int;
+  mutable r_shr : int array;
+  mutable r_delay : float array;
+  mutable r_path : int array array;
+  mutable r_plen : int array;
+  mutable r_back : int array;
+  mutable r_next : int array;
+  mutable r_free : int;
   timeline : Timeline.recorder;
   trace : Trace.t;
   meters : meters option;
@@ -126,189 +169,345 @@ let net t = Option.get t.net
 
 let tree t = t.tree
 
-let fresh_node () =
-  {
-    member = false;
-    parent = None;
-    children = Hashtbl.create 4;
-    hello_seen = Hashtbl.create 4;
-    last_data = neg_infinity;
-    last_forwarded_seq = -1;
-    data_received = 0;
-    recovering = false;
-    query_responses = [];
-    attach = [];
-    disrupted_at = None;
-    last_attempt = neg_infinity;
-    restored_at = None;
-  }
+let free_chain n off = Array.init n (fun i -> if i = n - 1 then -1 else off + i + 1)
 
-let msg_label = function
-  | Hello -> "hello"
-  | Join_req _ -> "join_req"
-  | Query _ -> "query"
-  | Query_resp _ -> "query_resp"
-  | Refresh -> "refresh"
-  | Prune -> "prune"
-  | Data _ -> "data"
+let msg_label m =
+  match m land 7 with
+  | 0 -> "hello"
+  | 1 -> "refresh"
+  | 2 -> "prune"
+  | 3 -> "data"
+  | 4 -> "join_req"
+  | 5 -> "query"
+  | _ -> "query_resp"
 
-let send t ~src ~dst msg =
-  let m = t.meters in
-  let meter f = match m with Some m -> Metrics.Counter.incr (f m) | None -> () in
-  (match msg with
-  | Data _ ->
+(* -- Payload pools ------------------------------------------------------- *)
+
+(* Each pool slot owns a reusable path buffer; [ensure] grows it without
+   preserving contents (callers overwrite), [ensure_keep] preserves for
+   in-place appends. *)
+let ensure paths s n =
+  if Array.length paths.(s) < n then paths.(s) <- Array.make (max 8 n) 0
+
+let ensure_keep paths s n =
+  if Array.length paths.(s) < n then begin
+    let na = Array.make (max 8 (2 * n)) 0 in
+    Array.blit paths.(s) 0 na 0 (Array.length paths.(s));
+    paths.(s) <- na
+  end
+
+let alloc_join t =
+  if t.j_free = -1 then begin
+    let cap = Array.length t.j_req in
+    t.j_req <- Array.append t.j_req (Array.make cap 0);
+    t.j_path <- Array.append t.j_path (Array.make cap [||]);
+    t.j_plen <- Array.append t.j_plen (Array.make cap 0);
+    t.j_idx <- Array.append t.j_idx (Array.make cap 0);
+    t.j_next <- Array.append t.j_next (free_chain cap cap);
+    t.j_free <- cap
+  end;
+  let s = t.j_free in
+  t.j_free <- t.j_next.(s);
+  s
+
+let[@inline] free_join t s =
+  t.j_next.(s) <- t.j_free;
+  t.j_free <- s
+
+let alloc_query t =
+  if t.q_free = -1 then begin
+    let cap = Array.length t.q_req in
+    t.q_req <- Array.append t.q_req (Array.make cap 0);
+    t.q_path <- Array.append t.q_path (Array.make cap [||]);
+    t.q_plen <- Array.append t.q_plen (Array.make cap 0);
+    t.q_next <- Array.append t.q_next (free_chain cap cap);
+    t.q_free <- cap
+  end;
+  let s = t.q_free in
+  t.q_free <- t.q_next.(s);
+  s
+
+let[@inline] free_query t s =
+  t.q_next.(s) <- t.q_free;
+  t.q_free <- s
+
+let alloc_resp t =
+  if t.r_free = -1 then begin
+    let cap = Array.length t.r_shr in
+    t.r_shr <- Array.append t.r_shr (Array.make cap 0);
+    t.r_delay <- Array.append t.r_delay (Array.make cap 0.0);
+    t.r_path <- Array.append t.r_path (Array.make cap [||]);
+    t.r_plen <- Array.append t.r_plen (Array.make cap 0);
+    t.r_back <- Array.append t.r_back (Array.make cap 0);
+    t.r_next <- Array.append t.r_next (free_chain cap cap);
+    t.r_free <- cap
+  end;
+  let s = t.r_free in
+  t.r_free <- t.r_next.(s);
+  s
+
+let[@inline] free_resp t s =
+  t.r_next.(s) <- t.r_free;
+  t.r_free <- s
+
+(* A slot-carrying frame that will never be delivered must still return its
+   pool slot; Net calls this for every dropped frame. *)
+let reclaim t m =
+  let slot = m asr 3 in
+  match m land 7 with
+  | 4 -> free_join t slot
+  | 5 -> free_query t slot
+  | 6 -> free_resp t slot
+  | _ -> ()
+
+(* -- Sending ------------------------------------------------------------- *)
+
+let send t ~src ~dst m =
+  let mt = t.meters in
+  let meter f = match mt with Some mt -> Metrics.Counter.incr (f mt) | None -> () in
+  (match m land 7 with
+  | 3 ->
       t.data_sent <- t.data_sent + 1;
       meter (fun m -> m.p_data)
-  | Hello ->
+  | 0 ->
       t.control_sent <- t.control_sent + 1;
       t.hello_sent <- t.hello_sent + 1;
       meter (fun m -> m.p_hello)
-  | Query _ | Query_resp _ ->
+  | 5 | 6 ->
       t.control_sent <- t.control_sent + 1;
       t.query_sent <- t.query_sent + 1;
       meter (fun m -> m.p_query)
-  | Join_req _ ->
+  | 4 ->
       t.control_sent <- t.control_sent + 1;
       t.join_sent <- t.join_sent + 1;
       meter (fun m -> m.p_join)
-  | Refresh ->
+  | 1 ->
       t.control_sent <- t.control_sent + 1;
       t.refresh_sent <- t.refresh_sent + 1;
       meter (fun m -> m.p_refresh)
-  | Prune ->
+  | _ ->
       t.control_sent <- t.control_sent + 1;
       t.prune_sent <- t.prune_sent + 1;
       meter (fun m -> m.p_prune));
-  ignore (Net.send (net t) ~src ~dst msg)
+  ignore (Net.send (net t) ~src ~dst m : bool)
 
 let hold_time t = t.config.hold_factor *. t.config.refresh_period
 
 (* Distributed on-tree test: the node believes it has an upstream. *)
-let dist_on_tree t v = v = t.source || t.nodes.(v).parent <> None
+let[@inline] dist_on_tree t v = v = t.source || t.n_parent.(v) >= 0
 
-let rec maybe_prune t v =
-  let st = t.nodes.(v) in
-  if v <> t.source && (not st.member) && Hashtbl.length st.children = 0 then begin
-    match st.parent with
-    | Some p ->
-        st.parent <- None;
-        send t ~src:v ~dst:p Prune
-    | None -> ()
+(* -- Children (inline scans over small parallel arrays) ------------------ *)
+
+let child_refresh t v child expiry =
+  let ids = t.ch_id.(v) in
+  let n = t.ch_n.(v) in
+  let i = ref 0 in
+  while !i < n && ids.(!i) <> child do
+    incr i
+  done;
+  if !i < n then t.ch_expiry.(v).(!i) <- expiry
+  else begin
+    if n = Array.length ids then begin
+      let cap = max 4 (2 * n) in
+      let nid = Array.make cap 0 and nex = Array.make cap 0.0 in
+      Array.blit ids 0 nid 0 n;
+      Array.blit t.ch_expiry.(v) 0 nex 0 n;
+      t.ch_id.(v) <- nid;
+      t.ch_expiry.(v) <- nex
+    end;
+    t.ch_id.(v).(n) <- child;
+    t.ch_expiry.(v).(n) <- expiry;
+    t.ch_n.(v) <- n + 1
   end
 
-and handle t ~at ~from msg =
-  let st = t.nodes.(at) in
+let child_remove t v child =
+  let ids = t.ch_id.(v) in
+  let n = t.ch_n.(v) in
+  let i = ref 0 in
+  while !i < n && ids.(!i) <> child do
+    incr i
+  done;
+  if !i < n then begin
+    ids.(!i) <- ids.(n - 1);
+    t.ch_expiry.(v).(!i) <- t.ch_expiry.(v).(n - 1);
+    t.ch_n.(v) <- n - 1
+  end
+
+let maybe_prune t v =
+  if v <> t.source && (not t.n_member.(v)) && t.ch_n.(v) = 0 then begin
+    let p = t.n_parent.(v) in
+    if p >= 0 then begin
+      t.n_parent.(v) <- -1;
+      send t ~src:v ~dst:p msg_prune
+    end
+  end
+
+(* Fan a data packet out to live children, expiring stale entries in place
+   (swap-remove keeps the scan index valid). *)
+let fanout_data t v ~except ~now ~seq =
+  let i = ref 0 in
+  while !i < t.ch_n.(v) do
+    if t.ch_expiry.(v).(!i) < now then begin
+      let n = t.ch_n.(v) - 1 in
+      t.ch_id.(v).(!i) <- t.ch_id.(v).(n);
+      t.ch_expiry.(v).(!i) <- t.ch_expiry.(v).(n);
+      t.ch_n.(v) <- n
+    end
+    else begin
+      let child = t.ch_id.(v).(!i) in
+      if child <> except then send t ~src:v ~dst:child (msg_data seq);
+      incr i
+    end
+  done
+
+(* -- Message handling ---------------------------------------------------- *)
+
+let handle_data t ~at ~from seq =
   let now = Engine.now t.engine in
-  match msg with
-  | Hello -> Hashtbl.replace st.hello_seen from now
-  | Refresh -> Hashtbl.replace st.children from (now +. hold_time t)
-  | Prune ->
-      Hashtbl.remove st.children from;
+  t.n_last_data.(at) <- now;
+  if t.n_member.(at) then begin
+    t.n_data_received.(at) <- t.n_data_received.(at) + 1;
+    if (not (Float.is_nan t.n_disrupted_at.(at))) && Float.is_nan t.n_restored_at.(at) then begin
+      t.n_restored_at.(at) <- now;
+      t.n_recovering.(at) <- false;
+      t.disrupted_now <- t.disrupted_now - 1;
+      Timeline.note_first_data t.timeline ~member:at ~ts:now;
+      (match t.meters with
+      | Some m -> Smrp_obs.Series.observe m.s_disrupted ~ts:now (float_of_int t.disrupted_now)
+      | None -> ());
+      (match (t.meters, Timeline.episode t.timeline at) with
+      | Some m, Some ep ->
+          List.iter
+            (fun (phase, dur) ->
+              match dur with
+              | Some d ->
+                  Option.iter (fun h -> Metrics.Histogram.observe h d)
+                    (List.assoc_opt phase m.h_phase);
+                  Option.iter (fun q -> Smrp_obs.Sketch.observe q d)
+                    (List.assoc_opt phase m.q_phase)
+              | None -> ())
+            (Timeline.phase_durations ep);
+          Option.iter
+            (fun d ->
+              Metrics.Histogram.observe m.h_total d;
+              Smrp_obs.Sketch.observe m.q_total d)
+            (Timeline.total ep)
+      | _ -> ());
+      if Trace.enabled t.trace then begin
+        Trace.instant t.trace ~ts:now ~cat:"recovery" ~tid:at "first_data";
+        Trace.end_span t.trace ~ts:now ~tid:at "recovery"
+      end
+    end
+  end;
+  (* Forward fresh packets only: duplicates (transient double attachment)
+     and loops die here. *)
+  if seq > t.n_last_forwarded.(at) then begin
+    t.n_last_forwarded.(at) <- seq;
+    let before = t.ch_n.(at) in
+    fanout_data t at ~except:from ~now ~seq;
+    if t.ch_n.(at) < before then maybe_prune t at
+  end
+
+let handle_join t ~at ~from slot =
+  let now = Engine.now t.engine in
+  child_refresh t at from (now +. hold_time t);
+  let idx = t.j_idx.(slot) in
+  if idx >= t.j_plen.(slot) then begin
+    (* We are the merge node: the requester's forwarding state is now
+       installed along the whole attach path. *)
+    let requester = t.j_req.(slot) in
+    free_join t slot;
+    Timeline.note_installed t.timeline ~member:requester ~ts:now;
+    if Trace.enabled t.trace then
+      Trace.instant t.trace ~ts:now ~cat:"proto" ~tid:requester
+        ~args:[ ("merge", Trace.Int at) ]
+        "join.installed"
+  end
+  else begin
+    (* Forward when we have no upstream — or when our upstream is stale (no
+       data for a starvation window): a disconnected relay must adopt the
+       detour rather than black-hole the re-join. *)
+    let starving =
+      now -. t.n_last_data.(at) > t.config.starvation_factor *. t.config.data_period
+    in
+    if (not (dist_on_tree t at)) || (at <> t.source && starving) then begin
+      let next = t.j_path.(slot).(idx) in
+      t.n_parent.(at) <- next;
+      t.j_idx.(slot) <- idx + 1;
+      send t ~src:at ~dst:next (msg_join slot)
+    end
+    else free_join t slot
+  end
+
+let handle_query t ~at slot =
+  let requester = t.q_req.(slot) in
+  let path = t.q_path.(slot) in
+  let plen = t.q_plen.(slot) in
+  let on_path v =
+    let rec go i = i < plen && (path.(i) = v || go (i + 1)) in
+    go 0
+  in
+  if at = requester || on_path at then free_query t slot
+  else if dist_on_tree t at && Tree.is_on_tree t.tree at then begin
+    (* First on-tree node met: answer with the (deferred, 3.3.2) SHR and
+       route the response back along the traversed path. *)
+    let r = alloc_resp t in
+    t.r_shr.(r) <- Tree.shr t.tree at;
+    t.r_delay.(r) <- Tree.delay_to_source t.tree at;
+    ensure t.r_path r (plen + 1);
+    Array.blit path 0 t.r_path.(r) 0 plen;
+    t.r_path.(r).(plen) <- at;
+    t.r_plen.(r) <- plen + 1;
+    (* Walk back down the recorded path: first hop is the last traversed
+       node, then indices plen-2 .. 0 (the requester records). *)
+    t.r_back.(r) <- plen - 2;
+    let back_first = path.(plen - 1) in
+    free_query t slot;
+    send t ~src:at ~dst:back_first (msg_resp r)
+  end
+  else begin
+    (* Forward along our unicast next hop towards the source. *)
+    match Smrp_graph.Dijkstra.shortest_path t.graph ~src:at ~dst:t.source with
+    | Some (_, _ :: next :: _, _) when (not (on_path next)) && next <> requester ->
+        ensure_keep t.q_path slot (plen + 1);
+        t.q_path.(slot).(plen) <- at;
+        t.q_plen.(slot) <- plen + 1;
+        send t ~src:at ~dst:next (msg_query slot)
+    | _ -> free_query t slot
+  end
+
+let handle_resp t ~at slot =
+  let back = t.r_back.(slot) in
+  if back >= 0 then begin
+    let next = t.r_path.(slot).(back) in
+    t.r_back.(slot) <- back - 1;
+    send t ~src:at ~dst:next (msg_resp slot)
+  end
+  else begin
+    (* We are the requester: record the answer for the pending selection.
+       Cold path — materializing a list here is fine. *)
+    let path = ref [] in
+    for i = t.r_plen.(slot) - 1 downto 0 do
+      path := t.r_path.(slot).(i) :: !path
+    done;
+    t.n_responses.(at) <- (t.r_shr.(slot), t.r_delay.(slot), !path) :: t.n_responses.(at);
+    free_resp t slot
+  end
+
+let handle t ~at ~from ~eid m =
+  match m land 7 with
+  | 3 -> handle_data t ~at ~from (m asr 3)
+  | 0 ->
+      let e = Graph.edge t.graph eid in
+      let side = if at = e.Graph.u then 0 else 1 in
+      t.hello_seen.((2 * eid) + side) <- Engine.now t.engine
+  | 1 -> child_refresh t at from (Engine.now t.engine +. hold_time t)
+  | 2 ->
+      child_remove t at from;
       maybe_prune t at
-  | Query { requester; path } ->
-      if at <> requester && not (List.mem at path) then begin
-        if dist_on_tree t at && Tree.is_on_tree t.tree at then begin
-          (* First on-tree node met: answer with the (deferred, 3.3.2) SHR
-             and route the response back along the traversed path. *)
-          match List.rev path with
-          | back_first :: back_rest ->
-              send t ~src:at ~dst:back_first
-                (Query_resp
-                   {
-                     shr = Tree.shr t.tree at;
-                     tree_delay = Tree.delay_to_source t.tree at;
-                     path = path @ [ at ];
-                     back = back_rest;
-                   })
-          | [] -> ()
-        end
-        else begin
-          (* Forward along our unicast next hop towards the source. *)
-          match Smrp_graph.Dijkstra.shortest_path t.graph ~src:at ~dst:t.source with
-          | Some (_, _ :: next :: _, _) when (not (List.mem next path)) && next <> requester ->
-              send t ~src:at ~dst:next (Query { requester; path = path @ [ at ] })
-          | _ -> ()
-        end
-      end
-  | Query_resp { shr; tree_delay; path; back } -> begin
-      match back with
-      | next :: rest -> send t ~src:at ~dst:next (Query_resp { shr; tree_delay; path; back = rest })
-      | [] -> st.query_responses <- (shr, tree_delay, path) :: st.query_responses
-    end
-  | Join_req { requester; remaining } -> begin
-      Hashtbl.replace st.children from (now +. hold_time t);
-      match remaining with
-      | [] ->
-          (* We are the merge node: the requester's forwarding state is now
-             installed along the whole attach path. *)
-          Timeline.note_installed t.timeline ~member:requester ~ts:now;
-          if Trace.enabled t.trace then
-            Trace.instant t.trace ~ts:now ~cat:"proto" ~tid:requester
-              ~args:[ ("merge", Trace.Int at) ]
-              "join.installed"
-      | next :: rest ->
-          (* Forward when we have no upstream — or when our upstream is
-             stale (no data for a starvation window): a disconnected relay
-             must adopt the detour rather than black-hole the re-join. *)
-          let starving =
-            now -. st.last_data > t.config.starvation_factor *. t.config.data_period
-          in
-          if (not (dist_on_tree t at)) || (at <> t.source && starving) then begin
-            st.parent <- Some next;
-            send t ~src:at ~dst:next (Join_req { requester; remaining = rest })
-          end
-    end
-  | Data { seq } ->
-      st.last_data <- now;
-      if st.member then begin
-        st.data_received <- st.data_received + 1;
-        match (st.disrupted_at, st.restored_at) with
-        | Some _, None ->
-            st.restored_at <- Some now;
-            st.recovering <- false;
-            t.disrupted_now <- t.disrupted_now - 1;
-            Timeline.note_first_data t.timeline ~member:at ~ts:now;
-            (match t.meters with
-            | Some m ->
-                Smrp_obs.Series.observe m.s_disrupted ~ts:now (float_of_int t.disrupted_now)
-            | None -> ());
-            (match (t.meters, Timeline.episode t.timeline at) with
-            | Some m, Some ep ->
-                List.iter
-                  (fun (phase, dur) ->
-                    match dur with
-                    | Some d ->
-                        Option.iter (fun h -> Metrics.Histogram.observe h d)
-                          (List.assoc_opt phase m.h_phase);
-                        Option.iter (fun q -> Smrp_obs.Sketch.observe q d)
-                          (List.assoc_opt phase m.q_phase)
-                    | None -> ())
-                  (Timeline.phase_durations ep);
-                Option.iter
-                  (fun d ->
-                    Metrics.Histogram.observe m.h_total d;
-                    Smrp_obs.Sketch.observe m.q_total d)
-                  (Timeline.total ep)
-            | _ -> ());
-            if Trace.enabled t.trace then begin
-              Trace.instant t.trace ~ts:now ~cat:"recovery" ~tid:at "first_data";
-              Trace.end_span t.trace ~ts:now ~tid:at "recovery"
-            end
-        | _ -> ()
-      end;
-      (* Forward fresh packets only: duplicates (transient double
-         attachment) and loops die here. *)
-      if seq > st.last_forwarded_seq then begin
-        st.last_forwarded_seq <- seq;
-        let expired = ref [] in
-        Hashtbl.iter
-          (fun child expiry ->
-            if expiry < now then expired := child :: !expired
-            else if child <> from then send t ~src:at ~dst:child (Data { seq }))
-          st.children;
-        List.iter (Hashtbl.remove st.children) !expired;
-        if !expired <> [] then maybe_prune t at
-      end
+  | 4 -> handle_join t ~at ~from (m asr 3)
+  | 5 -> handle_query t ~at (m asr 3)
+  | _ -> handle_resp t ~at (m asr 3)
 
 let create ?(config = default_config) ?obs engine graph ~source =
   let obs = match obs with Some _ as o -> o | None -> Engine.obs engine in
@@ -345,6 +544,8 @@ let create ?(config = default_config) ?obs engine graph ~source =
         })
       obs
   in
+  let n = Graph.node_count graph in
+  let pool0 = 16 in
   let t =
     {
       engine;
@@ -352,7 +553,6 @@ let create ?(config = default_config) ?obs engine graph ~source =
       graph;
       source;
       net = None;
-      nodes = Array.init (Graph.node_count graph) (fun _ -> fresh_node ());
       tree = Tree.create graph ~source;
       failure = None;
       failure_time = nan;
@@ -365,16 +565,70 @@ let create ?(config = default_config) ?obs engine graph ~source =
       prune_sent = 0;
       next_seq = 0;
       disrupted_now = 0;
+      n_member = Array.make n false;
+      n_parent = Array.make n (-1);
+      n_last_data = Array.make n neg_infinity;
+      n_last_forwarded = Array.make n (-1);
+      n_data_received = Array.make n 0;
+      n_recovering = Array.make n false;
+      n_disrupted_at = Array.make n nan;
+      n_restored_at = Array.make n nan;
+      n_last_attempt = Array.make n neg_infinity;
+      n_responses = Array.make n [];
+      ch_id = Array.make n [||];
+      ch_expiry = Array.make n [||];
+      ch_n = Array.make n 0;
+      at_path = Array.make n [||];
+      at_len = Array.make n 0;
+      hello_seen = Array.make (2 * Graph.edge_count graph) neg_infinity;
+      j_req = Array.make pool0 0;
+      j_path = Array.make pool0 [||];
+      j_plen = Array.make pool0 0;
+      j_idx = Array.make pool0 0;
+      j_next = free_chain pool0 0;
+      j_free = 0;
+      q_req = Array.make pool0 0;
+      q_path = Array.make pool0 [||];
+      q_plen = Array.make pool0 0;
+      q_next = free_chain pool0 0;
+      q_free = 0;
+      r_shr = Array.make pool0 0;
+      r_delay = Array.make pool0 0.0;
+      r_path = Array.make pool0 [||];
+      r_plen = Array.make pool0 0;
+      r_back = Array.make pool0 0;
+      r_next = free_chain pool0 0;
+      r_free = 0;
       timeline = Timeline.create ();
       trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
       meters;
     }
   in
   let net =
-    Net.create ?obs ~msg_label engine graph ~handler:(fun _ ~at ~from msg -> handle t ~at ~from msg)
+    Net.create ?obs ~msg_label ~on_drop:(reclaim t) engine graph
+      ~handler:(fun _ ~at ~from ~eid m -> handle t ~at ~from ~eid m)
   in
   t.net <- Some net;
   t
+
+(* Store the attach hops (next-hop-first) for periodic join refresh. *)
+let set_attach t v hops =
+  let len = List.length hops in
+  if Array.length t.at_path.(v) < len then t.at_path.(v) <- Array.make (max 4 len) 0;
+  List.iteri (fun i h -> t.at_path.(v).(i) <- h) hops;
+  t.at_len.(v) <- len
+
+(* Allocate a join slot carrying [remaining] (the hops after the first
+   destination). *)
+let join_slot_of_list t ~requester remaining =
+  let s = alloc_join t in
+  let len = List.length remaining in
+  t.j_req.(s) <- requester;
+  ensure t.j_path s len;
+  List.iteri (fun i h -> t.j_path.(s).(i) <- h) remaining;
+  t.j_plen.(s) <- len;
+  t.j_idx.(s) <- 0;
+  s
 
 (* Issue a Join_req along an attach path given merge-node-first (as the core
    library produces them). *)
@@ -388,15 +642,15 @@ let signal_join t ~requester ~attach_nodes =
       Timeline.note_installed t.timeline ~member:requester ~ts:now
   | me :: next :: rest ->
       assert (me = requester);
-      let st = t.nodes.(requester) in
-      if st.parent = None && requester <> t.source then st.parent <- Some next;
-      st.attach <- next :: rest;
+      if t.n_parent.(requester) < 0 && requester <> t.source then
+        t.n_parent.(requester) <- next;
+      set_attach t requester (next :: rest);
       Timeline.note_signalled t.timeline ~member:requester ~ts:now;
       if Trace.enabled t.trace then
         Trace.instant t.trace ~ts:now ~cat:"proto" ~tid:requester
           ~args:[ ("hops", Trace.Int (List.length rest + 1)) ]
           "join.signal";
-      send t ~src:requester ~dst:next (Join_req { requester; remaining = rest })
+      send t ~src:requester ~dst:next (msg_join (join_slot_of_list t ~requester rest))
 
 (* Full-knowledge path selection (§3.2.2): min-SHR for SMRP, unicast
    shortest path for the PIM baseline. *)
@@ -452,10 +706,9 @@ let candidate_of_response t (shr, tree_delay, path) =
   | [] -> invalid_arg "Protocol: empty query path"
 
 let finalize_query_join t m =
-  let st = t.nodes.(m) in
-  if st.member && st.attach = [] && not (Tree.is_on_tree t.tree m) then begin
-    let responses = st.query_responses in
-    st.query_responses <- [];
+  if t.n_member.(m) && t.at_len.(m) = 0 && not (Tree.is_on_tree t.tree m) then begin
+    let responses = t.n_responses.(m) in
+    t.n_responses.(m) <- [];
     if Trace.enabled t.trace then
       Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"proto" ~tid:m
         ~args:[ ("responses", Trace.Int (List.length responses)) ]
@@ -488,10 +741,9 @@ let finalize_query_join t m =
 
 let join t m =
   if m = t.source then invalid_arg "Protocol.join: the source cannot join";
-  let st = t.nodes.(m) in
-  if st.member then invalid_arg "Protocol.join: already a member";
-  st.member <- true;
-  st.last_data <- Engine.now t.engine;
+  if t.n_member.(m) then invalid_arg "Protocol.join: already a member";
+  t.n_member.(m) <- true;
+  t.n_last_data.(m) <- Engine.now t.engine;
   match t.config.join_mode with
   | Oracle -> oracle_join t m
   | Query_scheme ->
@@ -499,9 +751,15 @@ let join t m =
         if not (Tree.is_member t.tree m) then Tree.add_member t.tree m
       end
       else begin
-        st.query_responses <- [];
+        t.n_responses.(m) <- [];
         List.iter
-          (fun (nb, _) -> send t ~src:m ~dst:nb (Query { requester = m; path = [ m ] }))
+          (fun (nb, _) ->
+            let s = alloc_query t in
+            t.q_req.(s) <- m;
+            ensure t.q_path s 1;
+            t.q_path.(s).(0) <- m;
+            t.q_plen.(s) <- 1;
+            send t ~src:m ~dst:nb (msg_query s))
           (Graph.neighbors t.graph m);
         ignore
           (Engine.schedule t.engine ~delay:t.config.query_timeout (fun () ->
@@ -512,46 +770,43 @@ let join t m =
    subtree discounted; on a switch, install the new path make-before-break —
    join the new upstream first, then release the old one. *)
 let reshape_node t r =
-  let st = t.nodes.(r) in
   if
-    st.member && dist_on_tree t r && r <> t.source && (not st.recovering)
+    t.n_member.(r) && dist_on_tree t r && r <> t.source
+    && (not t.n_recovering.(r))
     && t.failure = None
     && Tree.is_on_tree t.tree r
   then begin
-    let old_parent = st.parent in
+    let old_parent = t.n_parent.(r) in
     if Reshape.try_reshape ~d_thresh:t.config.d_thresh t.tree r then begin
       if Trace.enabled t.trace then
         Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"proto" ~tid:r "reshape.switch";
       match Tree.path_to_source t.tree r with
       | _ :: (next :: _ as rest) ->
-          st.parent <- Some next;
-          st.attach <- rest;
-          send t ~src:r ~dst:next (Join_req { requester = r; remaining = List.tl rest });
-          (match old_parent with
-          | Some p when p <> next ->
-              (* Break after make: hold the old branch until the join has
-                 propagated up the new path and data has flowed back down —
-                 a full round trip at the new path's delay, plus margin. *)
-              let round_trip = 2.0 *. Tree.delay_to_source t.tree r in
-              ignore
-                (Engine.schedule t.engine
-                   ~delay:(round_trip +. (2.0 *. t.config.data_period))
-                   (fun () -> send t ~src:r ~dst:p Prune))
-          | _ -> ())
+          t.n_parent.(r) <- next;
+          set_attach t r rest;
+          send t ~src:r ~dst:next (msg_join (join_slot_of_list t ~requester:r (List.tl rest)));
+          if old_parent >= 0 && old_parent <> next then begin
+            (* Break after make: hold the old branch until the join has
+               propagated up the new path and data has flowed back down —
+               a full round trip at the new path's delay, plus margin. *)
+            let round_trip = 2.0 *. Tree.delay_to_source t.tree r in
+            ignore
+              (Engine.schedule t.engine
+                 ~delay:(round_trip +. (2.0 *. t.config.data_period))
+                 (fun () -> send t ~src:r ~dst:old_parent msg_prune))
+          end
       | _ -> ()
     end
   end
 
 let leave t m =
-  let st = t.nodes.(m) in
-  if not st.member then invalid_arg "Protocol.leave: not a member";
-  st.member <- false;
-  st.attach <- [];
+  if not t.n_member.(m) then invalid_arg "Protocol.leave: not a member";
+  t.n_member.(m) <- false;
+  t.at_len.(m) <- 0;
   maybe_prune t m;
   if Tree.is_member t.tree m then Tree.remove_member t.tree m
 
 let recover_member t m =
-  let st = t.nodes.(m) in
   let f = Option.get t.failure in
   let detour =
     match t.config.strategy with
@@ -569,18 +824,17 @@ let recover_member t m =
             ~edges:(List.rev d.Recovery.path_edges));
       if not (Tree.is_member t.tree m) then Tree.add_member t.tree m;
       (* Clear the stale upstream so the join installs the detour. *)
-      st.parent <- None;
+      t.n_parent.(m) <- -1;
       signal_join t ~requester:m ~attach_nodes:(List.rev d.Recovery.path_nodes)
 
 let declare_disrupted t m =
-  let st = t.nodes.(m) in
-  if not st.recovering then begin
+  if not t.n_recovering.(m) then begin
     let now = Engine.now t.engine in
-    st.recovering <- true;
-    st.last_attempt <- now;
-    let first = st.disrupted_at = None in
+    t.n_recovering.(m) <- true;
+    t.n_last_attempt.(m) <- now;
+    let first = Float.is_nan t.n_disrupted_at.(m) in
     if first then begin
-      st.disrupted_at <- Some now;
+      t.n_disrupted_at.(m) <- now;
       t.disrupted_now <- t.disrupted_now + 1;
       match t.meters with
       | Some mt -> Smrp_obs.Series.observe mt.s_disrupted ~ts:now (float_of_int t.disrupted_now)
@@ -611,23 +865,16 @@ let start t =
     (Engine.every t.engine ~period:t.config.data_period (fun () ->
          let seq = t.next_seq in
          t.next_seq <- seq + 1;
-         let st = t.nodes.(t.source) in
-         st.last_forwarded_seq <- seq;
+         t.n_last_forwarded.(t.source) <- seq;
          let now = Engine.now t.engine in
-         let expired = ref [] in
-         Hashtbl.iter
-           (fun child expiry ->
-             if expiry < now then expired := child :: !expired
-             else send t ~src:t.source ~dst:child (Data { seq }))
-           st.children;
-         List.iter (Hashtbl.remove st.children) !expired));
+         fanout_data t t.source ~except:(-1) ~now ~seq));
   (* Hellos on every live link. *)
   ignore
     (Engine.every t.engine ~period:t.config.hello_period (fun () ->
          for v = 0 to Graph.node_count t.graph - 1 do
            if Net.node_up (net t) v then
              List.iter
-               (fun (nb, eid) -> if Net.link_up (net t) eid then send t ~src:v ~dst:nb Hello)
+               (fun (nb, eid) -> if Net.link_up (net t) eid then send t ~src:v ~dst:nb msg_hello)
                (Graph.neighbors t.graph v)
          done));
   (* Refreshes from every attached node towards its parent, and PIM-style
@@ -636,21 +883,29 @@ let start t =
      expired entries). *)
   ignore
     (Engine.every t.engine ~period:t.config.refresh_period (fun () ->
-         Array.iteri
-           (fun v (st : node_state) ->
-             (match st.parent with Some p -> send t ~src:v ~dst:p Refresh | None -> ());
-             if st.member then begin
-               match st.attach with
-               | next :: rest -> send t ~src:v ~dst:next (Join_req { requester = v; remaining = rest })
-               | [] -> ()
-             end)
-           t.nodes));
+         for v = 0 to Array.length t.n_parent - 1 do
+           let p = t.n_parent.(v) in
+           if p >= 0 then send t ~src:v ~dst:p msg_refresh;
+           if t.n_member.(v) && t.at_len.(v) > 0 then begin
+             let next = t.at_path.(v).(0) in
+             let s = alloc_join t in
+             let len = t.at_len.(v) - 1 in
+             t.j_req.(s) <- v;
+             ensure t.j_path s len;
+             Array.blit t.at_path.(v) 1 t.j_path.(s) 0 len;
+             t.j_plen.(s) <- len;
+             t.j_idx.(s) <- 0;
+             send t ~src:v ~dst:next (msg_join s)
+           end
+         done));
   (* Condition-II reshaping timer (when enabled). *)
   (match t.config.reshape_period with
   | Some period ->
       ignore
         (Engine.every t.engine ~period (fun () ->
-             Array.iteri (fun v (st : node_state) -> if st.member then reshape_node t v) t.nodes))
+             for v = 0 to Array.length t.n_member - 1 do
+               if t.n_member.(v) then reshape_node t v
+             done))
   | None -> ());
   (* Starvation detector at members; hello-timeout detector for the node
      right below a failed link. *)
@@ -665,30 +920,33 @@ let start t =
            (2.0 *. starve)
            +. (match t.config.strategy with Global -> t.config.ospf_convergence | Local -> 0.0)
          in
-         Array.iteri
-           (fun v (st : node_state) ->
-             if st.member && t.failure <> None && now -. st.last_data > starve then begin
-               if not st.recovering then declare_disrupted t v
-               else if st.restored_at = None && now -. st.last_attempt > retry_after then begin
-                 st.recovering <- false;
-                 declare_disrupted t v
-               end
-             end)
-           t.nodes));
+         for v = 0 to Array.length t.n_member - 1 do
+           if t.n_member.(v) && t.failure <> None && now -. t.n_last_data.(v) > starve then begin
+             if not t.n_recovering.(v) then declare_disrupted t v
+             else if
+               Float.is_nan t.n_restored_at.(v) && now -. t.n_last_attempt.(v) > retry_after
+             then begin
+               t.n_recovering.(v) <- false;
+               declare_disrupted t v
+             end
+           end
+         done));
   ignore
     (Engine.every t.engine ~period:t.config.hello_period (fun () ->
          let now = Engine.now t.engine in
          let dead = t.config.hello_dead_factor *. t.config.hello_period in
-         Array.iteri
-           (fun v (st : node_state) ->
-             match st.parent with
-             | Some p when st.member && not st.recovering -> begin
-                 match Hashtbl.find_opt st.hello_seen p with
-                 | Some seen when now -. seen > dead && t.failure <> None -> declare_disrupted t v
-                 | _ -> ()
-               end
-             | _ -> ())
-           t.nodes))
+         for v = 0 to Array.length t.n_parent - 1 do
+           let p = t.n_parent.(v) in
+           if p >= 0 && t.n_member.(v) && not t.n_recovering.(v) then begin
+             match Graph.edge_between t.graph v p with
+             | Some e ->
+                 let side = if v = e.Graph.u then 0 else 1 in
+                 let seen = t.hello_seen.((2 * e.Graph.id) + side) in
+                 if seen > neg_infinity && now -. seen > dead && t.failure <> None then
+                   declare_disrupted t v
+             | None -> ()
+           end
+         done))
 
 let inject_link_failure t eid =
   if t.failure <> None then invalid_arg "Protocol.inject_link_failure: one failure per run";
@@ -706,19 +964,22 @@ let inject_link_failure t eid =
 
 let reports t =
   let acc = ref [] in
-  Array.iteri
-    (fun v (st : node_state) ->
-      if st.member || st.disrupted_at <> None then
-        acc :=
-          {
-            member = v;
-            detected = Option.map (fun d -> d -. t.failure_time) st.disrupted_at;
-            restored = Option.map (fun r -> r -. t.failure_time) st.restored_at;
-            data_received = st.data_received;
-          }
-          :: !acc)
-    t.nodes;
-  List.rev !acc
+  for v = Array.length t.n_member - 1 downto 0 do
+    if t.n_member.(v) || not (Float.is_nan t.n_disrupted_at.(v)) then
+      acc :=
+        {
+          member = v;
+          detected =
+            (if Float.is_nan t.n_disrupted_at.(v) then None
+             else Some (t.n_disrupted_at.(v) -. t.failure_time));
+          restored =
+            (if Float.is_nan t.n_restored_at.(v) then None
+             else Some (t.n_restored_at.(v) -. t.failure_time));
+          data_received = t.n_data_received.(v);
+        }
+        :: !acc
+  done;
+  !acc
 
 let control_messages t = t.control_sent
 

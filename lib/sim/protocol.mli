@@ -51,14 +51,12 @@ val default_config : config
     3×), data 0.1 (starvation at 5×), OSPF convergence 5.0, local recovery,
     oracle joins (query timeout 2.0 when enabled), [D_thresh] 0.3. *)
 
-type msg =
-  | Hello
-  | Join_req of { requester : int; remaining : int list }
-  | Query of { requester : int; path : int list }
-  | Query_resp of { shr : int; tree_delay : float; path : int list; back : int list }
-  | Refresh
-  | Prune
-  | Data of { seq : int }
+type msg
+(** Wire message, packed into one int: a 3-bit type tag plus either an
+    immediate payload (data sequence number) or an index into an internal
+    side pool holding the variable-length part (join / query paths).
+    Opaque to callers — inspect traffic through {!message_breakdown} or the
+    [proto.sent.*] counters. *)
 
 type member_report = {
   member : int;

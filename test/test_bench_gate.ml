@@ -48,7 +48,8 @@ let json_accessors () =
 (* -- Gate --------------------------------------------------------------- *)
 
 (* A minimal results file of the harness's shape. *)
-let results ?(digest = "d1") ?(identical = true) ?(runs = 16.0) ?(dijkstra = 1000.0) () =
+let results ?(digest = "d1") ?(identical = true) ?(runs = 16.0) ?(dijkstra = 1000.0)
+    ?(events_per_sec = 1e7) () =
   J.Obj
     [
       ("schema_version", J.Num (float_of_int Check.schema_version));
@@ -62,6 +63,7 @@ let results ?(digest = "d1") ?(identical = true) ?(runs = 16.0) ?(dijkstra = 100
           ] );
       ( "micro_ns_per_run",
         J.Obj [ ("dijkstra_n100", J.Num dijkstra); ("spf_build", J.Num 2000.0) ] );
+      ("micro_throughput", J.Obj [ ("engine_events_per_sec", J.Num events_per_sec) ]);
     ]
 
 let baseline = Check.baseline_of_results (results ())
@@ -97,6 +99,25 @@ let gate_fails_on_micro_regression () =
      so the same +100% passes. *)
   check "quick mode widens tolerance" true
     (Check.passed (run ~quick:true ~res:(results ~dijkstra:2000.0 ()) ()))
+
+let gate_throughput_direction_reversed () =
+  (* micro_throughput is a rate: a drop beyond tolerance is the regression,
+     a rise only earns the refresh note. *)
+  let r = run ~res:(results ~events_per_sec:4e6 ()) () in
+  check "-60% throughput fails at 50%" true (not (Check.passed r));
+  check "flagged on the throughput row" true
+    (List.exists
+       (fun row ->
+         row.Check.metric = "throughput.engine_events_per_sec"
+         && row.Check.status = Check.Regression)
+       r.Check.rows);
+  let faster = run ~res:(results ~events_per_sec:3e7 ()) () in
+  check "+200% throughput passes" true (Check.passed faster);
+  check "improvement noted" true (faster.Check.notes <> []);
+  check "small drop within tolerance passes" true
+    (Check.passed (run ~res:(results ~events_per_sec:8e6 ()) ()));
+  check "quick mode widens the drop tolerance" true
+    (Check.passed (run ~quick:true ~res:(results ~events_per_sec:4e6 ()) ()))
 
 let gate_fails_on_workload_drift () =
   let fails r = not (Check.passed r) in
@@ -148,6 +169,8 @@ let () =
           Alcotest.test_case "passes on identical" `Quick gate_passes_on_identical;
           Alcotest.test_case "passes within tolerance" `Quick gate_passes_within_tolerance;
           Alcotest.test_case "fails on micro regression" `Quick gate_fails_on_micro_regression;
+          Alcotest.test_case "throughput direction reversed" `Quick
+            gate_throughput_direction_reversed;
           Alcotest.test_case "fails on workload drift" `Quick gate_fails_on_workload_drift;
           Alcotest.test_case "fails on missing/schema" `Quick gate_fails_on_missing_and_schema;
           Alcotest.test_case "baseline derivation" `Quick baseline_derivation_shape;

@@ -182,6 +182,68 @@ let qcheck_stabilize_valid =
       ignore (Reshape.stabilize ~d_thresh:0.3 t);
       Tree.validate t = Ok () && List.for_all (Tree.is_member t) members)
 
+(* Differential oracle for the rewritten [stabilize]: the historical sweep
+   semantics, spelled out as one detach-based [try_reshape] per node in
+   deepest-first order.  Unit link delays keep every float sum exact, so
+   the two implementations must agree bit for bit — same switch decisions,
+   same rounds, same final edge set. *)
+let unit_scene seed =
+  let rng = Rng.create (seed + 77) in
+  let n = 20 + Rng.int rng 60 in
+  let topo = Waxman.generate ~link_delay:`Unit rng ~n ~alpha:0.2 ~beta:0.2 in
+  let k = 2 + Rng.int rng (min 15 (n - 2)) in
+  let sample = Smrp_rng.Rng.sample_without_replacement rng (k + 1) n in
+  (topo.Waxman.graph, List.hd sample, List.tl sample)
+
+let reference_stabilize ?failure ?(max_rounds = 10) t =
+  let rec go rounds switches =
+    if rounds = max_rounds then { Reshape.switches; rounds }
+    else begin
+      let nodes =
+        Tree.on_tree_nodes t
+        |> List.filter (fun v -> v <> Tree.source t)
+        |> List.map (fun v -> (List.length (Tree.path_to_source t v), v))
+        |> List.sort (fun (d1, v1) (d2, v2) -> compare (-d1, v1) (-d2, v2))
+        |> List.map snd
+      in
+      let rs =
+        List.fold_left
+          (fun acc v ->
+            if Tree.is_on_tree t v && v <> Tree.source t then
+              if Reshape.try_reshape ~d_thresh:0.3 ?failure t v then acc + 1 else acc
+            else acc)
+          0 nodes
+      in
+      if rs = 0 then { Reshape.switches; rounds = rounds + 1 }
+      else go (rounds + 1) (switches + rs)
+    end
+  in
+  go 0 0
+
+let edge_sets_equal a b = List.sort compare (Tree.tree_edges a) = List.sort compare (Tree.tree_edges b)
+
+let qcheck_stabilize_matches_reference =
+  QCheck.Test.make ~name:"stabilize matches the detach-based reference sweep" ~count:60
+    QCheck.small_int (fun seed ->
+      let g, source, members = unit_scene seed in
+      let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      let t_ref = Tree.copy t and t_new = Tree.copy t in
+      let s_ref = reference_stabilize t_ref in
+      let s_new = Reshape.stabilize ~d_thresh:0.3 t_new in
+      s_ref = s_new && edge_sets_equal t_ref t_new && Tree.validate t_new = Ok ())
+
+let qcheck_stabilize_matches_reference_under_failure =
+  QCheck.Test.make ~name:"stabilize matches the reference sweep under link failure" ~count:40
+    QCheck.small_int (fun seed ->
+      let module Failure = Smrp_core.Failure in
+      let g, source, members = unit_scene seed in
+      let t = Smrp.build ~d_thresh:0.3 g ~source ~members in
+      let failure = Failure.Link (seed * 7 mod Graph.edge_count g) in
+      let t_ref = Tree.copy t and t_new = Tree.copy t in
+      let s_ref = reference_stabilize ~failure t_ref in
+      let s_new = Reshape.stabilize ~d_thresh:0.3 ~failure t_new in
+      s_ref = s_new && edge_sets_equal t_ref t_new && Tree.validate t_new = Ok ())
+
 let qcheck_try_reshape_valid =
   QCheck.Test.make ~name:"any single reshape keeps the tree valid" ~count:100 QCheck.small_int
     (fun seed ->
@@ -223,5 +285,7 @@ let () =
         [
           qcheck_case qcheck_stabilize_valid;
           qcheck_case qcheck_try_reshape_valid;
+          qcheck_case qcheck_stabilize_matches_reference;
+          qcheck_case qcheck_stabilize_matches_reference_under_failure;
         ] );
     ]

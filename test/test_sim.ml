@@ -36,7 +36,7 @@ let cancel_prevents_firing () =
   let e = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule e ~delay:1.0 (fun () -> fired := true) in
-  Engine.cancel h;
+  Engine.cancel e h;
   Engine.run e;
   check "cancelled" false !fired
 
@@ -63,7 +63,7 @@ let every_cancellable () =
   let e = Engine.create () in
   let count = ref 0 in
   let h = Engine.every e ~period:1.0 (fun () -> incr count) in
-  ignore (Engine.schedule e ~delay:3.5 (fun () -> Engine.cancel h));
+  ignore (Engine.schedule e ~delay:3.5 (fun () -> Engine.cancel e h));
   Engine.run ~until:10.0 e;
   check_int "stopped after cancel" 3 !count
 
@@ -95,6 +95,140 @@ let every_with_jitter () =
   in
   List.iter (fun g -> check "gap within jitter band" true (g >= 0.74 && g <= 1.26)) (gaps !times)
 
+(* Timer-wheel edge cases: the scaled-int clock and hierarchical wheel have
+   sharp corners (same-tick rescheduling, the overflow list past the wheel
+   horizon, handle recycling, tick quantization) that a float heap never
+   had.  Each gets pinned against both queue implementations where it
+   matters. *)
+
+let zero_delay_self_reschedule () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let other = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then ignore (Engine.schedule e ~delay:0.0 tick)
+  in
+  ignore (Engine.schedule e ~delay:1.0 tick);
+  (* A same-tick neighbour scheduled before the chain starts: FIFO puts it
+     between the first firing and the zero-delay follow-ups. *)
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> other := !count));
+  Engine.run e;
+  check_int "chain ran to completion" 5 !count;
+  check_int "neighbour fired after the first link only" 1 !other;
+  check_float "clock never advanced past the tick" 1.0 (Engine.now e)
+
+let far_future_overflow_cascade () =
+  (* The wheel horizon is 2^35 ticks (~3436 s): events beyond it park in
+     the overflow list and must cascade back in, in order, mixed with near
+     events scheduled later. *)
+  List.iter
+    (fun impl ->
+      let e = Engine.create ~impl () in
+      let log = ref [] in
+      let at d tag = ignore (Engine.schedule e ~delay:d (fun () -> log := tag :: !log)) in
+      at 5000.0 `Far2;
+      at 9000.0 `Far3;
+      at 4000.0 `Far1;
+      at 1.0 `Near;
+      ignore
+        (Engine.schedule e ~delay:2.0 (fun () ->
+             (* scheduled mid-run, still lands between Near and Far1 *)
+             at 10.0 `Mid));
+      Engine.run e;
+      check "overflow ordering" true (List.rev !log = [ `Near; `Mid; `Far1; `Far2; `Far3 ]);
+      check_float "clock at last event" 9000.0 (Engine.now e))
+    [ Engine.Wheel; Engine.Reference ]
+
+let cancel_of_recycled_handle_is_noop () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  let h1 = Engine.schedule e ~delay:1.0 (fun () -> fired := 1 :: !fired) in
+  Engine.run e;
+  (* h1's pool slot is free now; the next schedule recycles it with a new
+     generation stamp. *)
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> fired := 2 :: !fired));
+  Engine.cancel e h1;
+  Engine.cancel e h1;
+  Engine.run e;
+  Alcotest.(check (list int)) "stale cancel left the recycled event alone" [ 1; 2 ]
+    (List.rev !fired)
+
+let tick_rounding_at_bucket_boundaries () =
+  check_float "tick roundtrip" 1.0 (Engine.time_of_tick (Engine.tick_of_time 1.0));
+  (* A delay within half a tick of another lands on the same tick and fires
+     FIFO; one just past the boundary keeps its own slot. *)
+  let half_tick = 0.5 /. Engine.ticks_per_second in
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:(1.0 +. (0.8 *. half_tick)) (fun () -> log := `Same1 :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> log := `Same2 :: !log));
+  ignore (Engine.schedule e ~delay:(1.0 +. (3.0 *. half_tick)) (fun () -> log := `Later :: !log));
+  Engine.run e;
+  check "sub-tick neighbours collapse and stay FIFO" true
+    (List.rev !log = [ `Same1; `Same2; `Later ]);
+  (* Wheel-slot boundaries (multiples of 32 ticks from the hand) must not
+     reorder: exercise a window straddling several level-0 slot edges. *)
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 0 to 99 do
+    let d = Engine.time_of_tick (30 + i) in
+    ignore (Engine.schedule e ~delay:d (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "boundary window in order" (List.init 100 Fun.id) (List.rev !order)
+
+let queue_depth_counts_live_only () =
+  let module Metrics = Smrp_obs.Metrics in
+  let obs = Smrp_obs.Obs.create () in
+  let m = Smrp_obs.Obs.metrics obs in
+  let e = Engine.create ~obs () in
+  let hs = List.init 3 (fun _ -> Engine.schedule e ~delay:1.0 (fun () -> ())) in
+  check_int "three live" 3 (Engine.pending e);
+  Engine.cancel e (List.hd hs);
+  check_int "two live after cancel" 2 (Engine.pending e);
+  check_float "depth gauge tracks live events, not queue entries" 2.0
+    (Metrics.Gauge.value (Metrics.gauge m "engine.queue_depth"));
+  check_int "pending-cancel counter" 1
+    (Metrics.Counter.value (Metrics.counter m "engine.events_cancelled_pending"));
+  Engine.run e;
+  check_float "drained" 0.0 (Metrics.Gauge.value (Metrics.gauge m "engine.queue_depth"));
+  check_int "lazy delete surfaced on pop" 1
+    (Metrics.Counter.value (Metrics.counter m "engine.events_cancelled"));
+  check_int "fired excludes the cancelled one" 2 (Engine.events_fired e)
+
+let wheel_matches_reference_engine () =
+  (* Identical pseudo-random workloads on both queue implementations must
+     produce identical firing sequences (fingerprint covers tick + code). *)
+  let run impl =
+    let e = Engine.create ~impl () in
+    let log = ref [] in
+    let code = Engine.register e (fun a b -> log := (Engine.now e, a, b) :: !log) in
+    let seed = ref 12345 in
+    let next () =
+      seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+      !seed
+    in
+    let cancels = ref [] in
+    for i = 0 to 199 do
+      let d = float_of_int (next () mod 10_000) /. 777.0 in
+      if i mod 3 = 0 then
+        Engine.schedule_code e ~delay:d ~code ~a:i ~b:(next () mod 97)
+      else begin
+        let h = Engine.schedule e ~delay:d (fun () -> log := (Engine.now e, -1, i) :: !log) in
+        if i mod 5 = 1 then cancels := h :: !cancels
+      end
+    done;
+    List.iter (Engine.cancel e) !cancels;
+    Engine.run e;
+    (Engine.fingerprint e, Engine.events_fired e, List.rev !log)
+  in
+  let fw, nw, lw = run Engine.Wheel in
+  let fr, nr, lr = run Engine.Reference in
+  check_int "same event count" nr nw;
+  check "same fingerprint" true (fw = fr);
+  check "same firing log" true (lw = lr)
+
 (* -- Net --------------------------------------------------------------- *)
 
 let frames_arrive_after_link_delay () =
@@ -103,7 +237,7 @@ let frames_arrive_after_link_delay () =
   let arrivals = ref [] in
   let net = ref None in
   let n =
-    Net.create engine g ~handler:(fun _ ~at ~from msg ->
+    Net.create engine g ~handler:(fun _ ~at ~from ~eid:_ msg ->
         arrivals := (Engine.now engine, at, from, msg) :: !arrivals)
   in
   net := Some n;
@@ -121,7 +255,7 @@ let failed_link_drops () =
   let engine = Engine.create () in
   let g = Fixtures.line 3 in
   let arrivals = ref 0 in
-  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ _ -> incr arrivals) in
+  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ ~eid:_ _ -> incr arrivals) in
   Net.fail_link n (edge g 0 1);
   check "rejected at send" false (Net.send n ~src:0 ~dst:1 ());
   Engine.run engine;
@@ -133,7 +267,7 @@ let in_flight_frames_die_with_the_link () =
   let engine = Engine.create () in
   let g = Fixtures.line 3 in
   let arrivals = ref 0 in
-  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ _ -> incr arrivals) in
+  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ ~eid:_ _ -> incr arrivals) in
   check "sent" true (Net.send n ~src:0 ~dst:1 ());
   (* The link dies while the frame is in flight. *)
   ignore (Engine.schedule engine ~delay:0.5 (fun () -> Net.fail_link n (edge g 0 1)));
@@ -146,7 +280,7 @@ let failure_drops_counted_separately () =
   let engine = Engine.create () in
   let g = Fixtures.line 3 in
   let delivered = ref 0 in
-  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ _ -> incr delivered) in
+  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ ~eid:_ _ -> incr delivered) in
   Net.fail_link n (edge g 0 1);
   check "rejected" false (Net.send n ~src:0 ~dst:1 ());
   check_int "send-time failure drop" 1 (List.assoc "dropped_failure_at_send" (Net.counters n));
@@ -164,7 +298,7 @@ let failure_drops_counted_separately () =
 let failed_node_blocks () =
   let engine = Engine.create () in
   let g = Fixtures.line 3 in
-  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ _ -> ()) in
+  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ ~eid:_ _ -> ()) in
   Net.fail_node n 1;
   check "to dead node" false (Net.send n ~src:0 ~dst:1 ());
   check "node state" false (Net.node_up n 1);
@@ -175,7 +309,7 @@ let failed_node_blocks () =
 let non_adjacent_send_rejected () =
   let engine = Engine.create () in
   let g = Fixtures.line 3 in
-  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ _ -> ()) in
+  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ ~eid:_ _ -> ()) in
   Alcotest.check_raises "not adjacent" (Invalid_argument "Net.send: nodes not adjacent") (fun () ->
       ignore (Net.send n ~src:0 ~dst:2 ()))
 
@@ -242,7 +376,7 @@ let lossy_links_counted () =
   let engine = Engine.create () in
   let g = Fixtures.line 2 in
   let received = ref 0 in
-  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ _ -> incr received) in
+  let n = Net.create engine g ~handler:(fun _ ~at:_ ~from:_ ~eid:_ _ -> incr received) in
   Net.set_loss n ~rng:(Smrp_rng.Rng.create 5) ~rate:0.3;
   for _ = 1 to 1000 do
     ignore (Net.send n ~src:0 ~dst:1 ())
@@ -385,6 +519,13 @@ let () =
           Alcotest.test_case "every cancellable" `Quick every_cancellable;
           Alcotest.test_case "rejects past/negative" `Quick rejects_past_and_negative;
           Alcotest.test_case "every with jitter" `Quick every_with_jitter;
+          Alcotest.test_case "zero-delay self-reschedule" `Quick zero_delay_self_reschedule;
+          Alcotest.test_case "far-future overflow cascade" `Quick far_future_overflow_cascade;
+          Alcotest.test_case "recycled handle cancel" `Quick cancel_of_recycled_handle_is_noop;
+          Alcotest.test_case "tick rounding at bucket boundaries" `Quick
+            tick_rounding_at_bucket_boundaries;
+          Alcotest.test_case "queue depth counts live only" `Quick queue_depth_counts_live_only;
+          Alcotest.test_case "wheel matches reference" `Quick wheel_matches_reference_engine;
         ] );
       ( "net",
         [
