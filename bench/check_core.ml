@@ -271,7 +271,16 @@ let trend ?(window = 5) lines =
     List.filter_map
       (fun line ->
         match J.parse line with
-        | v -> if J.member "micro_ns_per_run" v = None then None else Some v
+        | v ->
+            (* History lines from older runs can predate a whole section —
+               e.g. entries written before schema v3 have no
+               [micro_throughput]/[engine_events_per_sec].  Any line with at
+               least one estimate section stays in the window; a metric the
+               line lacks simply contributes nothing to that metric's mean,
+               instead of the line being skipped wholesale. *)
+            if J.member "micro_ns_per_run" v = None && J.member "micro_throughput" v = None then
+              None
+            else Some v
         | exception J.Parse_error _ -> None)
       (List.filter (fun l -> String.trim l <> "") lines)
   in
@@ -282,40 +291,50 @@ let trend ?(window = 5) lines =
         (List.length entries)
   | latest :: prior_rev ->
       let prior = List.rev prior_rev in
-      let micro e =
-        match J.member "micro_ns_per_run" e with Some m -> J.obj_members m | None -> []
-      in
+      let section key e = match J.member key e with Some m -> J.obj_members m | None -> [] in
       let buf = Buffer.create 512 in
       Buffer.add_string buf
         (Printf.sprintf "Micro trends: latest vs mean of %d preceding run(s)\n\n" (List.length prior));
       Buffer.add_string buf
         (Printf.sprintf "%-28s  %14s  %14s  %8s\n" "metric" "window mean" "latest" "delta");
-      List.iter
-        (fun (name, v) ->
-          match J.to_num v with
-          | None -> ()
-          | Some current ->
-              let history =
-                List.filter_map
-                  (fun e -> Option.bind (J.mem_path [ "micro_ns_per_run"; name ] e) J.to_num)
-                  prior
-              in
-              let line =
-                match history with
-                | [] -> Printf.sprintf "%-28s  %14s  %11.1f ns  %8s\n" name "-" current "new"
-                | _ ->
-                    let mean = List.fold_left ( +. ) 0.0 history /. float_of_int (List.length history) in
-                    let delta = if mean > 0.0 then (current -. mean) /. mean else 0.0 in
-                    let arrow =
-                      if delta > 0.05 then "(slower)"
-                      else if delta < -0.05 then "(faster)"
-                      else ""
-                    in
-                    Printf.sprintf "%-28s  %11.1f ns  %11.1f ns  %+7.1f%% %s\n" name mean current
-                      (100.0 *. delta) arrow
-              in
-              Buffer.add_string buf line)
-        (micro latest);
+      (* [higher_better] flips the arrow: throughput rising is an
+         improvement where ns-per-run rising is a regression. *)
+      let render_section ~key ~fmt ~higher_better =
+        List.iter
+          (fun (name, v) ->
+            match J.to_num v with
+            | None -> ()
+            | Some current ->
+                let history =
+                  List.filter_map
+                    (fun e -> Option.bind (J.mem_path [ key; name ] e) J.to_num)
+                    prior
+                in
+                let line =
+                  match history with
+                  | [] -> Printf.sprintf "%-28s  %14s  %14s  %8s\n" name "-" (fmt current) "new"
+                  | _ ->
+                      let mean =
+                        List.fold_left ( +. ) 0.0 history /. float_of_int (List.length history)
+                      in
+                      let delta = if mean > 0.0 then (current -. mean) /. mean else 0.0 in
+                      let arrow =
+                        let worse = if higher_better then delta < -0.05 else delta > 0.05 in
+                        let better = if higher_better then delta > 0.05 else delta < -0.05 in
+                        if worse then "(slower)" else if better then "(faster)" else ""
+                      in
+                      Printf.sprintf "%-28s  %14s  %14s  %+7.1f%% %s\n" name (fmt mean)
+                        (fmt current) (100.0 *. delta) arrow
+                in
+                Buffer.add_string buf line)
+          (section key latest)
+      in
+      render_section ~key:"micro_ns_per_run"
+        ~fmt:(fun v -> Printf.sprintf "%.1f ns" v)
+        ~higher_better:false;
+      render_section ~key:"micro_throughput"
+        ~fmt:(fun v -> Printf.sprintf "%.3g /s" v)
+        ~higher_better:true;
       Buffer.contents buf
 
 (* -- Baseline derivation ------------------------------------------------ *)

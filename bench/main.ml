@@ -28,8 +28,11 @@ module Pool = Smrp_experiments.Pool
 module Rng = Smrp_rng.Rng
 module Graph = Smrp_graph.Graph
 module Dijkstra = Smrp_graph.Dijkstra
+module Dspf = Smrp_graph.Dspf
 module Waxman = Smrp_topology.Waxman
+module Scale = Smrp_topology.Scale
 module Tree = Smrp_core.Tree
+module Protect = Smrp_core.Protect
 module Spf = Smrp_core.Spf
 module Smrp = Smrp_core.Smrp
 module Reshape = Smrp_core.Reshape
@@ -263,6 +266,38 @@ let micro () =
      stack does; the build benches exercise the default private-workspace
      path end to end. *)
   let ws = Dijkstra.workspace ~capacity:(Graph.node_count graph) () in
+  (* Recovery-at-scale fixture: a 10^4-node streaming Waxman with the
+     incremental SPF and the protection tables warm.  The three benches on
+     it share one workload so the numbers compare directly: the full
+     Dijkstra recompute, the incremental fail/restore repair, and the O(1)
+     table read that answers a recovery query. *)
+  let srng = Rng.create 4242 in
+  let scale_n = 10_000 in
+  let sgraph =
+    let alpha, beta = Scale.degree_params ~n:scale_n ~target_degree:8.0 in
+    (Scale.waxman srng ~n:scale_n ~alpha ~beta).Scale.graph
+  in
+  let sws = Dijkstra.workspace ~capacity:(Graph.node_count sgraph) () in
+  let sp = Dspf.create sgraph ~source:0 in
+  let fail_eid =
+    let rec pick tries =
+      let v = 1 + Rng.int srng (scale_n - 1) in
+      let e = Dspf.parent_edge sp v in
+      if e >= 0 || tries = 0 then e else pick (tries - 1)
+    in
+    pick 1000
+  in
+  let protect_eids, protect_tables =
+    let smembers =
+      List.sort_uniq compare (List.init 30 (fun _ -> 1 + Rng.int srng (scale_n - 1)))
+    in
+    let ptree = Smrp.build ~d_thresh:0.3 ~ws:sws sgraph ~source:0 ~members:smembers in
+    let pp = Protect.create ptree in
+    let rec take k = function e :: rest when k > 0 -> e :: take (k - 1) rest | _ -> [] in
+    let eids = Array.of_list (take 64 (Tree.tree_edges ptree)) in
+    Array.iter (fun e -> ignore (Protect.link_lookup pp e)) eids;
+    (eids, pp)
+  in
   let tests =
     [
       Test.make ~name:"waxman_generate_n100"
@@ -288,6 +323,26 @@ let micro () =
         (let base = Smrp.build ~d_thresh:0.3 ~ws graph ~source ~members in
          Staged.stage (fun () ->
              ignore (Reshape.stabilize ~d_thresh:0.3 ~ws (Tree.copy base))));
+      Test.make ~name:"dijkstra_full_recover"
+        (* What recovery costs without the incremental layer: recompute the
+           whole source-rooted SPF on the 10^4-node graph. *)
+        (Staged.stage (fun () -> ignore (Dijkstra.run ~workspace:sws sgraph ~source:0)));
+      Test.make ~name:"dspf_fail_recover"
+        (* One persistent-failure repair round: drop a tree edge, re-attach
+           the orphaned subtree, then restore — two incremental updates. *)
+        (Staged.stage (fun () ->
+             Dspf.fail_edge sp fail_eid;
+             Dspf.restore_edge sp fail_eid));
+      Test.make ~name:"protect_lookup_1024"
+        (* 1024 recovery-distance reads from the warm protection table;
+           reported as throughput (recovery_lookups_per_sec). *)
+        (Staged.stage (fun () ->
+             let m = Array.length protect_eids in
+             let acc = ref 0.0 in
+             for i = 0 to 1023 do
+               acc := !acc +. Protect.link_rd protect_tables protect_eids.(i mod m)
+             done;
+             ignore (Sys.opaque_identity !acc)));
       Test.make ~name:"engine_1024_events"
         (* One engine reused across runs, as a long simulation would: each
            run schedules a spread of int-coded events and drains them. *)
@@ -329,18 +384,30 @@ let micro () =
            | None -> (name, ns))
          !rows)
   in
-  (* The engine batch bench reports as throughput: 1024 int-coded events
-     per run, so events/s = 1024e9 / ns-per-run.  It lives in its own
-     results section because its regression direction is reversed (lower is
-     worse). *)
+  (* The batch benches report as throughput: 1024 operations per run, so
+     ops/s = 1024e9 / ns-per-run.  They live in their own results section
+     because their regression direction is reversed (lower is worse). *)
   let micro_rows, throughput_rows =
     List.fold_left
       (fun (m, t) (name, ns) ->
         if String.equal name "engine_1024_events" then
           (m, ("engine_events_per_sec", 1024e9 /. ns) :: t)
+        else if String.equal name "protect_lookup_1024" then
+          (m, ("recovery_lookups_per_sec", 1024e9 /. ns) :: t)
         else ((name, ns) :: m, t))
       ([], []) (List.rev rows)
   in
+  (* The 10^5-node generation is too slow for the Bechamel quota; one
+     hand-timed draw is stable enough for the relative gate (it gets a
+     wider per-name tolerance in BASELINE.json). *)
+  let waxman_100k_ns =
+    let rng = Rng.create 4243 in
+    let alpha, beta = Scale.degree_params ~n:100_000 ~target_degree:8.0 in
+    let t0 = Unix.gettimeofday () in
+    ignore (Scale.waxman rng ~n:100_000 ~alpha ~beta);
+    (Unix.gettimeofday () -. t0) *. 1e9
+  in
+  let micro_rows = List.sort compare (("waxman_100k", waxman_100k_ns) :: micro_rows) in
   List.iter
     (fun (name, ns) -> Printf.printf "%-28s %12.1f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
     micro_rows;

@@ -9,6 +9,7 @@ module Scenario = Smrp_experiments.Scenario
 module Latency = Smrp_experiments.Latency
 module Ablation = Smrp_experiments.Ablation
 module Related_work = Smrp_experiments.Related_work
+module Scaling = Smrp_experiments.Scaling
 module Dot = Smrp_core.Dot
 
 let seed_arg default =
@@ -323,14 +324,14 @@ let fuzz_cmd =
   let module Fuzz = Smrp_check.Fuzz in
   let module Case = Smrp_check.Case in
   let module Exec = Smrp_check.Exec in
-  let replay_one ~bug ~engine_diff file =
+  let replay_one ~bug ~engine_diff ~protection file =
     match Case.load file with
     | Error msg ->
         Printf.eprintf "fuzz: cannot load %s: %s\n" file msg;
         exit 2
     | Ok case -> (
         Format.printf "%a@." Case.pp case;
-        match Fuzz.replay ~bug ~engine_diff case with
+        match Fuzz.replay ~bug ~engine_diff ~protection case with
         | Exec.Pass s ->
             Printf.printf "replay: all invariants held (%d event(s) applied, %d skipped)\n"
               s.Exec.applied s.Exec.skipped;
@@ -339,9 +340,11 @@ let fuzz_cmd =
             Format.printf "replay: VIOLATION %a@." Exec.pp_violation v;
             exit 1)
   in
-  let campaign ~seed ~runs ~bug ~engine_diff ~max_nodes ~out =
+  let campaign ~seed ~runs ~bug ~engine_diff ~protection ~max_nodes ~out =
     let params = { Smrp_check.Gen.default with Smrp_check.Gen.max_nodes } in
-    let report = Fuzz.run { Fuzz.default with Fuzz.seed; runs; bug; params; engine_diff } in
+    let report =
+      Fuzz.run { Fuzz.default with Fuzz.seed; runs; bug; params; engine_diff; protection }
+    in
     print_string (Fuzz.render report);
     match report.Fuzz.failures with
     | [] -> exit 0
@@ -354,7 +357,7 @@ let fuzz_cmd =
           | b -> Printf.sprintf " --inject %s" (Exec.bug_to_string b));
         exit 1
   in
-  let run seed runs inject engine_diff replay max_nodes out =
+  let run seed runs inject engine_diff protection replay max_nodes out =
     let bug =
       match Exec.bug_of_string inject with
       | Ok b -> b
@@ -366,9 +369,13 @@ let fuzz_cmd =
       Printf.eprintf "fuzz: --engine-diff replays the real stack; --inject does not apply\n";
       exit 2
     end;
+    if engine_diff && protection then begin
+      Printf.eprintf "fuzz: --engine-diff bypasses the tree-level session; --protection does not apply\n";
+      exit 2
+    end;
     match replay with
-    | Some file -> replay_one ~bug ~engine_diff file
-    | None -> campaign ~seed ~runs ~bug ~engine_diff ~max_nodes ~out
+    | Some file -> replay_one ~bug ~engine_diff ~protection file
+    | None -> campaign ~seed ~runs ~bug ~engine_diff ~protection ~max_nodes ~out
   in
   let runs =
     Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Random cases to execute.")
@@ -390,6 +397,15 @@ let fuzz_cmd =
             "Engine-differential mode: replay each case as a packet-level simulation on both \
              the timer-wheel and the reference-heap event queues and fail unless the engine \
              fingerprint, frame accounting and member reports are byte-identical.")
+  in
+  let protection =
+    Arg.(
+      value & flag
+      & info [ "protection" ]
+          ~doc:
+            "Arm the precomputed-protection layer in every fuzzed session: single link/node \
+             failures are repaired by table lookup and audited against a from-scratch branch \
+             detour search, on top of the usual oracle battery.")
   in
   let replay =
     Arg.(
@@ -415,7 +431,9 @@ let fuzz_cmd =
          "Fault-injection fuzzing: random topologies and event schedules driven through \
           Session/Recovery/Reshape with invariant oracles after every event; failures shrink \
           to replayable repro files.")
-    Term.(const run $ seed_arg 42 $ runs $ inject $ engine_diff $ replay $ max_nodes $ out)
+    Term.(
+      const run $ seed_arg 42 $ runs $ inject $ engine_diff $ protection $ replay $ max_nodes
+      $ out)
 
 let ablations_cmd =
   let run seed scenarios =
@@ -439,6 +457,40 @@ let related_cmd =
   Cmd.v
     (Cmd.info "related-work" ~doc:"SMRP vs redundant trees (Medard et al. [16]).")
     Term.(const run $ seed_arg 16 $ scenarios_arg)
+
+let scale_cmd =
+  let run seed ns json =
+    let rows = Scaling.run ~ns ~seed () in
+    print_string (Scaling.render rows);
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Scaling.to_json rows);
+        close_out oc;
+        Printf.printf "scale: JSON report written to %s\n" file
+  in
+  let ns =
+    Arg.(
+      value
+      & opt (list int) [ 10_000; 100_000 ]
+      & info [ "n" ] ~docv:"N,N,..."
+          ~doc:
+            "Topology sizes to sweep (comma-separated node counts; pass 1000000 for the \
+             million-node run).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the machine-readable report here.")
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Large-n scaling sweep: grid-bucketed Waxman and transit-stub generation, incremental \
+          SPF build/repair and protection-table precompute/lookup, per size.")
+    Term.(const run $ seed_arg 17 $ ns $ json)
 
 let dot_cmd =
   let run seed protocol =
@@ -476,5 +528,6 @@ let () =
             report_cmd;
             ablations_cmd;
             related_cmd;
+            scale_cmd;
             dot_cmd;
           ]))

@@ -19,7 +19,14 @@ let bug_to_string = function
   | Skip_n_r_update -> "skip-shr"
   | Drop_member_on_reshape -> "drop-member"
 
-type stats = { applied : int; skipped : int; repairs : int; lost : int; switches : int }
+type stats = {
+  applied : int;
+  skipped : int;
+  repairs : int;
+  protected : int;
+  lost : int;
+  switches : int;
+}
 
 type violation = { index : int; event : Case.event; oracle : string; message : string }
 
@@ -29,9 +36,12 @@ let eps = 1e-6
 
 (* Events are folded with an explicit result so one violation stops the
    run; each step yields what happened plus any stat increments. *)
-type step = Applied of { repairs : int; lost : int; switches : int } | Skipped | Bad of Oracle.violation
+type step =
+  | Applied of { repairs : int; protected : int; lost : int; switches : int }
+  | Skipped
+  | Bad of Oracle.violation
 
-let applied = Applied { repairs = 0; lost = 0; switches = 0 }
+let applied = Applied { repairs = 0; protected = 0; lost = 0; switches = 0 }
 
 let bad (v : Oracle.violation) = Bad v
 
@@ -255,11 +265,26 @@ let apply_fail s (case : Case.t) ev =
         let repairs = Session.fail s f in
         let f_all = Option.get (Session.active_failure s) in
         let lost = lost_since (Session.events s) pre_events in
+        (* The session either answered from the protection tables (every
+           repair is [`Protected] — the fallback is all-or-nothing) or ran
+           the staged search; each gets its own oracle. *)
+        let protected_run =
+          List.exists (fun r -> r.Session.strategy = `Protected) repairs
+        in
         match
-          Oracle.repair_replay ~pre ~failure:f_all ~repairs ~post:(Session.tree s) ~lost
+          if protected_run then
+            Oracle.protected_replay ~pre ~failure:f_all ~repairs ~post:(Session.tree s) ~lost
+          else Oracle.repair_replay ~pre ~failure:f_all ~repairs ~post:(Session.tree s) ~lost
         with
         | Some v -> bad v
-        | None -> Applied { repairs = List.length repairs; lost = List.length lost; switches = 0 }
+        | None ->
+            Applied
+              {
+                repairs = List.length repairs;
+                protected = (if protected_run then List.length repairs else 0);
+                lost = List.length lost;
+                switches = 0;
+              }
       end
 
 (* -- Reshape ----------------------------------------------------------- *)
@@ -281,7 +306,7 @@ let apply_reshape s ~bug =
           Printf.sprintf "reshaping changed the member set (%d members before, %d after)"
             (List.length pre_members) (List.length post_members);
       }
-  else Applied { repairs = 0; lost = 0; switches }
+  else Applied { repairs = 0; protected = 0; lost = 0; switches }
 
 (* -- Driver ------------------------------------------------------------ *)
 
@@ -300,7 +325,7 @@ let common_oracles s () =
               | Some f -> Oracle.avoids_failure tree f
               | None -> None)))
 
-let run ?(bug = No_bug) (case : Case.t) =
+let run ?(bug = No_bug) ?(protection = false) (case : Case.t) =
   let g = Case.graph case in
   let protocol =
     match case.Case.protocol with
@@ -308,8 +333,8 @@ let run ?(bug = No_bug) (case : Case.t) =
     | Case.Smrp -> Session.Smrp { d_thresh = case.Case.d_thresh }
     | Case.Smrp_query -> Session.Smrp_query { d_thresh = case.Case.d_thresh }
   in
-  let s = Session.create g ~source:case.Case.source ~protocol in
-  let stats = ref { applied = 0; skipped = 0; repairs = 0; lost = 0; switches = 0 } in
+  let s = Session.create ~protection g ~source:case.Case.source ~protocol in
+  let stats = ref { applied = 0; skipped = 0; repairs = 0; protected = 0; lost = 0; switches = 0 } in
   let rec go index = function
     | [] -> Pass !stats
     | ev :: rest -> (
@@ -345,6 +370,7 @@ let run ?(bug = No_bug) (case : Case.t) =
                 applied = !stats.applied + 1;
                 skipped = !stats.skipped;
                 repairs = !stats.repairs + d.repairs;
+                protected = !stats.protected + d.protected;
                 lost = !stats.lost + d.lost;
                 switches = !stats.switches + d.switches;
               };
@@ -354,7 +380,8 @@ let run ?(bug = No_bug) (case : Case.t) =
   in
   go 0 case.Case.events
 
-let fails ?bug case = match run ?bug case with Fail _ -> true | Pass _ -> false
+let fails ?bug ?protection case =
+  match run ?bug ?protection case with Fail _ -> true | Pass _ -> false
 
 (* -- Engine differential ------------------------------------------------ *)
 
@@ -366,7 +393,7 @@ let anchor (case : Case.t) =
 let run_engine_diff (case : Case.t) =
   match Engine_diff.check case with
   | { Engine_diff.mismatch = None; applied; skipped } ->
-      Pass { applied; skipped; repairs = 0; lost = 0; switches = 0 }
+      Pass { applied; skipped; repairs = 0; protected = 0; lost = 0; switches = 0 }
   | { Engine_diff.mismatch = Some message; _ } ->
       Fail { index = 0; event = anchor case; oracle = "engine-differential"; message }
   | exception exn ->

@@ -30,6 +30,10 @@ type stats = {
   applied : int;
   skipped : int;
   repairs : int;  (** Detours grafted across all failure events. *)
+  protected : int;
+      (** Of [repairs], how many were answered from the protection tables
+          (whole-branch [`Protected] re-attachments); 0 unless {!run} was
+          given [~protection:true]. *)
   lost : int;  (** Members permanently isolated. *)
   switches : int;  (** Reshaping path switches. *)
 }
@@ -43,9 +47,14 @@ type violation = {
 
 type outcome = Pass of stats | Fail of violation
 
-val run : ?bug:bug -> Case.t -> outcome
+val run : ?bug:bug -> ?protection:bool -> Case.t -> outcome
+(** [~protection:true] (default false) runs the session with the
+    precomputed-protection layer armed ({!Smrp_core.Session.create}); failure
+    events repaired from the tables are audited by
+    {!Oracle.protected_replay} instead of {!Oracle.repair_replay}, and every
+    other oracle runs unchanged. *)
 
-val fails : ?bug:bug -> Case.t -> bool
+val fails : ?bug:bug -> ?protection:bool -> Case.t -> bool
 (** [true] iff {!run} returns [Fail] — the shrinker's predicate. *)
 
 val run_engine_diff : Case.t -> outcome

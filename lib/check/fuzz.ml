@@ -7,6 +7,7 @@ type config = {
   params : Gen.params;
   max_failures : int;
   engine_diff : bool;
+  protection : bool;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     params = Gen.default;
     max_failures = 1;
     engine_diff = false;
+    protection = false;
   }
 
 type failure = { run : int; case : Case.t; shrunk : Case.t; violation : Exec.violation }
@@ -26,22 +28,34 @@ type report = {
   applied : int;
   skipped : int;
   repairs : int;
+  protected : int;
   lost : int;
   switches : int;
   failures : failure list;
 }
 
-let replay ?bug ?(engine_diff = false) case =
-  if engine_diff then Exec.run_engine_diff case else Exec.run ?bug case
+let replay ?bug ?(engine_diff = false) ?(protection = false) case =
+  if engine_diff then Exec.run_engine_diff case else Exec.run ?bug ~protection case
 
 let run config =
   let rng = Rng.create config.seed in
   let report =
-    ref { runs = 0; applied = 0; skipped = 0; repairs = 0; lost = 0; switches = 0; failures = [] }
+    ref
+      {
+        runs = 0;
+        applied = 0;
+        skipped = 0;
+        repairs = 0;
+        protected = 0;
+        lost = 0;
+        switches = 0;
+        failures = [];
+      }
   in
   let bug = match config.bug with Exec.No_bug -> None | b -> Some b in
   let execute case =
-    if config.engine_diff then Exec.run_engine_diff case else Exec.run ?bug case
+    if config.engine_diff then Exec.run_engine_diff case
+    else Exec.run ?bug ~protection:config.protection case
   in
   let case_fails case = match execute case with Exec.Fail _ -> true | Exec.Pass _ -> false in
   (let continue = ref true in
@@ -58,6 +72,7 @@ let run config =
              applied = !report.applied + s.Exec.applied;
              skipped = !report.skipped + s.Exec.skipped;
              repairs = !report.repairs + s.Exec.repairs;
+             protected = !report.protected + s.Exec.protected;
              lost = !report.lost + s.Exec.lost;
              switches = !report.switches + s.Exec.switches;
            }
@@ -82,9 +97,11 @@ let run config =
 let render r =
   let buf = Buffer.create 512 in
   Printf.bprintf buf
-    "fuzz: %d run(s), %d event(s) applied (%d skipped), %d repair(s), %d lost member(s), %d \
+    "fuzz: %d run(s), %d event(s) applied (%d skipped), %d repair(s)%s, %d lost member(s), %d \
      reshape switch(es)\n"
-    r.runs r.applied r.skipped r.repairs r.lost r.switches;
+    r.runs r.applied r.skipped r.repairs
+    (if r.protected > 0 then Printf.sprintf " (%d from protection tables)" r.protected else "")
+    r.lost r.switches;
   (match r.failures with
   | [] -> Buffer.add_string buf "fuzz: all invariants held\n"
   | fs ->

@@ -16,6 +16,11 @@ type config = {
           each case replays as a packet-level simulation on both the
           timer-wheel and reference-heap engines and must produce
           byte-identical outcomes.  [bug] is ignored in this mode. *)
+  protection : bool;
+      (** Arm the precomputed-protection layer in every session: failures
+          answered from the {!Smrp_core.Protect} tables are audited by the
+          {!Oracle.protected_replay} differential.  Ignored under
+          [engine_diff]. *)
 }
 
 val default : config
@@ -34,6 +39,7 @@ type report = {
   applied : int;  (** Events applied across the whole campaign. *)
   skipped : int;
   repairs : int;
+  protected : int;  (** Of [repairs], answered from the protection tables. *)
   lost : int;
   switches : int;
   failures : failure list;
@@ -41,7 +47,7 @@ type report = {
 
 val run : config -> report
 
-val replay : ?bug:Exec.bug -> ?engine_diff:bool -> Case.t -> Exec.outcome
+val replay : ?bug:Exec.bug -> ?engine_diff:bool -> ?protection:bool -> Case.t -> Exec.outcome
 (** Re-execute one case (e.g. loaded from a repro file), through the
     engine-differential replay when [engine_diff] is set. *)
 

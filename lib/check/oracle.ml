@@ -148,6 +148,127 @@ let naive_select ~d_thresh ~spf_distance cands =
 
 let sorted_edges t = List.sort compare (Tree.tree_edges t)
 
+(* -- Protected-repair oracle -------------------------------------------- *)
+
+(* Differential for the table-lookup recovery path.  A [`Protected] repair
+   re-attached a whole orphaned branch, so instead of replaying a staged
+   member-by-member rebuild the oracle recomputes every branch detour from
+   scratch over the pre-failure tree — the same eligibility semantics the
+   tables bake in, but none of the cached state (Euler tour, path arenas,
+   version stamps) — and demands the lookup answered with exactly that
+   detour. *)
+let protected_replay ~pre ~failure ~repairs ~post ~lost =
+  let g = Tree.graph pre in
+  let source = Tree.source pre in
+  (* The fast path only fires for a single link on a tree edge or a single
+     non-source on-tree node; [cut] roots the whole orphaned region and
+     [roots] are its branch roots, one repair each. *)
+  let scope =
+    match failure with
+    | Failure.Link eid ->
+        let e = Graph.edge g eid in
+        if Tree.is_on_tree pre e.Graph.u && Tree.parent_edge_id pre e.Graph.u = eid then
+          Some (e.Graph.u, [ e.Graph.u ])
+        else if Tree.is_on_tree pre e.Graph.v && Tree.parent_edge_id pre e.Graph.v = eid then
+          Some (e.Graph.v, [ e.Graph.v ])
+        else None
+    | Failure.Node v ->
+        if v <> source && Tree.is_on_tree pre v then Some (v, Tree.children pre v) else None
+    | Failure.Multi _ -> None
+  in
+  match scope with
+  | None -> violation "protected-scope" "a protected repair fired for an out-of-scope failure"
+  | Some (cut, roots) ->
+      let in_cut v = Tree.is_on_tree pre v && List.mem cut (Tree.path_to_source pre v) in
+      (* Surviving members below each node: N_R recomputed with the orphaned
+         region's members removed — merge eligibility after the post-failure
+         pruning (the source always qualifies). *)
+      let surviving = Array.make (Graph.node_count g) 0 in
+      List.iter
+        (fun m ->
+          if not (in_cut m) then
+            List.iter (fun v -> surviving.(v) <- surviving.(v) + 1) (Tree.path_to_source pre m))
+        (Tree.members pre);
+      let eligible v =
+        Tree.is_on_tree pre v
+        && (not (in_cut v))
+        && Failure.node_ok failure v
+        && (v = source || surviving.(v) > 0)
+      in
+      let dead = List.filter (fun m -> not (Failure.node_ok failure m)) (Tree.members pre) in
+      let rec check_each = function
+        | [] -> None
+        | { Session.detour = d; _ } :: rest ->
+            let root = d.Recovery.member in
+            let rd = Paths.delay_of_edges g d.Recovery.path_edges in
+            if not (List.mem root roots) then
+              violation "protected-scope" "repair root %d is not an orphaned branch root" root
+            else if abs_float (d.Recovery.recovery_distance -. rd) > eps then
+              violation "protected-distance"
+                "branch %d reports RD = %g but its detour links sum to %g" root
+                d.Recovery.recovery_distance rd
+            else if List.exists (fun v -> not (Failure.node_ok failure v)) d.Recovery.path_nodes
+            then violation "protected-distance" "branch %d's detour crosses the failed node" root
+            else if List.exists (fun e -> not (Failure.edge_ok g failure e)) d.Recovery.path_edges
+            then violation "protected-distance" "branch %d's detour crosses the failed link" root
+            else if not (Tree.is_on_tree post d.Recovery.merge) then
+              violation "protected-replay" "branch %d's merge node %d is off the repaired tree"
+                root d.Recovery.merge
+            else if
+              abs_float
+                (d.Recovery.new_total_delay -. (rd +. Tree.delay_to_source post d.Recovery.merge))
+              > eps
+            then
+              violation "protected-distance"
+                "branch %d's total delay %g disagrees with RD + merge delay in the repaired tree"
+                root d.Recovery.new_total_delay
+            else begin
+              match Recovery.branch_detour pre failure ~root ~eligible with
+              | None ->
+                  violation "protected-differential"
+                    "the from-scratch branch search finds no detour for branch %d, the table \
+                     answered one"
+                    root
+              | Some fresh ->
+                  if fresh.Recovery.merge <> d.Recovery.merge then
+                    violation "protected-differential"
+                      "branch %d merges at %d; the from-scratch search selects %d" root
+                      d.Recovery.merge fresh.Recovery.merge
+                  else if abs_float (fresh.Recovery.recovery_distance -. rd) > eps then
+                    violation "protected-differential"
+                      "branch %d's RD is %g; the from-scratch search computes %g" root rd
+                      fresh.Recovery.recovery_distance
+                  else check_each rest
+            end
+      in
+      let sorted l = List.sort compare l in
+      (match check_each repairs with
+      | Some _ as v -> v
+      | None ->
+          let repair_roots =
+            sorted (List.map (fun r -> r.Session.detour.Recovery.member) repairs)
+          in
+          if repair_roots <> sorted roots then
+            violation "protected-accounting" "branch roots %s repaired, expected %s"
+              (String.concat "," (List.map string_of_int repair_roots))
+              (String.concat "," (List.map string_of_int (sorted roots)))
+          else if sorted lost <> sorted dead then
+            violation "protected-accounting"
+              "lost members %s, but under protection only failed routers lose service (%s)"
+              (String.concat "," (List.map string_of_int (sorted lost)))
+              (String.concat "," (List.map string_of_int (sorted dead)))
+          else begin
+            let expect =
+              sorted (List.filter (fun m -> Failure.node_ok failure m) (Tree.members pre))
+            in
+            if sorted (Tree.members post) <> expect then
+              violation "protected-accounting"
+                "protection dropped a surviving member (post members %s, expected %s)"
+                (String.concat "," (List.map string_of_int (sorted (Tree.members post))))
+                (String.concat "," (List.map string_of_int expect))
+            else None
+          end)
+
 let repair_replay ~pre ~failure ~repairs ~post ~lost =
   let g = Tree.graph pre in
   let affected = Failure.affected_members pre failure in

@@ -74,3 +74,27 @@ val repair_replay :
       freshly rebuilt surviving tree);
     - the replayed tree matches [post] edge-for-edge and member-for-member;
     - members are conserved: repaired + lost = affected + dead. *)
+
+val protected_replay :
+  pre:Smrp_core.Tree.t ->
+  failure:Smrp_core.Failure.t ->
+  repairs:Smrp_core.Session.repair list ->
+  post:Smrp_core.Tree.t ->
+  lost:int list ->
+  violation option
+(** Audit a table-lookup repair episode (every repair carries the
+    [`Protected] strategy; each one re-attached a whole orphaned branch):
+
+    - the failure has the shape the fast path is allowed to answer (one
+      link on a tree edge, or one non-source on-tree node);
+    - exactly the orphaned branch roots were repaired, once each;
+    - each detour's [RD_R] equals the delay over its path edges, the path
+      survives the failure, and [new_total_delay] is consistent with the
+      repaired tree;
+    - differentially, each detour equals (merge point and [RD_R]) a
+      from-scratch {!Smrp_core.Recovery.branch_detour} over the pre-failure
+      tree with eligibility — on-tree, outside the orphaned region, alive,
+      still serving members after the pruning — recomputed naively, sharing
+      none of the tables' cached Euler tour, arenas or version stamps;
+    - nobody is lost but the failed routers themselves: the surviving
+      member set is conserved wholesale. *)

@@ -63,6 +63,53 @@ let local_detour ?ws t f ~member =
     end
   end
 
+(* Branch detour: the re-attachment path of a whole orphaned subtree, used
+   by the precomputed-protection tables ([Protect]) and as the search-based
+   oracle they are checked against.  [root] is the orphan's root; [eligible]
+   marks the merge targets (on-tree, outside the orphaned region, and
+   surviving the post-failure pruning — the caller computes this);
+   [excluded] marks the orphaned region itself.  Interior path nodes must be
+   strictly off-tree, exactly as in the SMRP candidate search (footnote 4),
+   so the merge point is the true merge point. *)
+let branch_detour ?ws t f ~root ~eligible =
+  if not (Failure.node_ok f root) then None
+  else begin
+    let g = Tree.graph t in
+    let node_ok v =
+      Failure.node_ok f v && (v = root || (not (Tree.is_on_tree t v)) || eligible v)
+    in
+    let absorb v = v <> root && eligible v in
+    let result =
+      Dijkstra.run ~node_ok ~edge_ok:(Failure.edge_ok g f) ~absorb ?workspace:ws g
+        ~source:root
+    in
+    (* Same descending non-strict scan as [local_detour]: deterministic
+       smallest-id winner on recovery-distance ties. *)
+    let best = ref None in
+    for v = Graph.node_count g - 1 downto 0 do
+      if v <> root && eligible v && Dijkstra.reachable result v then begin
+        let d = Option.get (Dijkstra.distance result v) in
+        match !best with
+        | Some (bd, _) when bd < d -> ()
+        | _ -> best := Some (d, v)
+      end
+    done;
+    match !best with
+    | None -> None
+    | Some (d, merge) ->
+        let path_nodes = Option.get (Dijkstra.path_nodes result merge) in
+        let path_edges = Option.get (Dijkstra.path_edges result merge) in
+        Some
+          {
+            member = root;
+            merge;
+            path_nodes;
+            path_edges;
+            recovery_distance = d;
+            new_total_delay = d +. Tree.delay_to_source t merge;
+          }
+  end
+
 let surviving_tree old f =
   let fresh = Tree.create (Tree.graph old) ~source:(Tree.source old) in
   let connected = Failure.tree_connected old f in

@@ -32,6 +32,26 @@ val global_detour :
   ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> Failure.t -> member:int -> detour option
 (** SPF re-join over the surviving network. *)
 
+val branch_detour :
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  Tree.t ->
+  Failure.t ->
+  root:int ->
+  eligible:(int -> bool) ->
+  detour option
+(** Re-attachment path of a whole orphaned subtree: the shortest connection
+    from the subtree's [root] to any [eligible] merge target, whose interior
+    is strictly off-tree (footnote-4 semantics, so the merge point is the
+    true merge point).  [eligible] marks merge targets (on-tree, outside
+    the orphaned region, surviving the post-failure pruning — the caller
+    supplies this); on-tree nodes that are not eligible — the orphaned
+    region included — are neither traversed nor merged into.  Ties on recovery
+    distance resolve to the smallest merge id, as in {!local_detour}.  The
+    result's [member] field carries [root].
+
+    This is both the computation behind the {!Protect} tables and the
+    search-based oracle the fuzz harness compares those tables against. *)
+
 val surviving_tree : Tree.t -> Failure.t -> Tree.t
 (** A fresh tree over the same graph containing exactly the structure (and
     members) that still receives data under the failure — the starting point

@@ -10,7 +10,10 @@ type protocol =
 
 type repair = {
   detour : Recovery.detour;
-  strategy : [ `Local | `Global ];
+  strategy : [ `Local | `Global | `Protected ];
+      (** [`Protected]: answered from the precomputed {!Protect} tables —
+          the detour re-attached a whole orphaned branch ([detour.member]
+          is the branch root), not a single member. *)
 }
 
 type event =
@@ -23,7 +26,23 @@ type event =
 
 type t
 
-val create : Smrp_graph.Graph.t -> source:int -> protocol:protocol -> t
+val create : ?protection:bool -> Smrp_graph.Graph.t -> source:int -> protocol:protocol -> t
+(** [~protection:true] (default false) arms the precomputed-protection
+    layer: the session maintains {!Protect} branch-detour tables (refreshed
+    after every repair, invalidated in O(1) by membership churn) and an
+    incremental source SPF ({!Smrp_graph.Dspf}) that replaces the per-join
+    unicast distance search.  Under SMRP protocols, a single link or
+    non-source node failure is then repaired by table lookup — each
+    orphaned branch re-attaches wholesale along its precomputed detour
+    (logged as one [`Protected] repair per branch) — with automatic
+    fallback to the staged search repair whenever the failure shape or a
+    stale precondition rules the tables out.  SPF-protocol sessions accept
+    the flag but always use the search path. *)
+
+val protection_enabled : t -> bool
+
+val protection_stats : t -> Protect.stats option
+(** Lookup/recompute counters of the protection tables, when armed. *)
 
 val tree : t -> Tree.t
 

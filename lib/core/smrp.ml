@@ -159,11 +159,14 @@ let join_where ?(d_thresh = default_d_thresh) ?failure ?ws t nr ~spf_dist =
   Tree.graft t ~nodes:(List.rev nodes) ~edges:(List.rev edges);
   Tree.add_member t nr
 
-let join ?d_thresh ?failure ?ws t nr =
+let join ?d_thresh ?failure ?ws ?spf_dist t nr =
   if Tree.is_member t nr then invalid_arg "Smrp.join: already a member";
   if Tree.is_on_tree t nr then Tree.add_member t nr
   else begin
-    match spf_distance ?failure ?ws t nr with
+    (* [spf_dist] lets a caller that already maintains the source-rooted
+       SPF (e.g. a protection session's incremental Dspf) skip the
+       per-join distance search. *)
+    match (match spf_dist with Some _ as d -> d | None -> spf_distance ?failure ?ws t nr) with
     | None -> invalid_arg "Smrp.join: source unreachable"
     | Some spf_dist -> join_where ?d_thresh ?failure ?ws t nr ~spf_dist
   end

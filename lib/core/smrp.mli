@@ -49,12 +49,23 @@ val select : ?d_thresh:float -> spf_distance:float -> candidate list -> candidat
     Falls back to the lowest-delay candidate when none meets the bound. *)
 
 val join :
-  ?d_thresh:float -> ?failure:Failure.t -> ?ws:Smrp_graph.Dijkstra.workspace -> Tree.t -> int -> unit
+  ?d_thresh:float ->
+  ?failure:Failure.t ->
+  ?ws:Smrp_graph.Dijkstra.workspace ->
+  ?spf_dist:float ->
+  Tree.t ->
+  int ->
+  unit
 (** SMRP join (§3.2.2).  A joiner that is already on-tree (a relay)
     subscribes in place and keeps its existing path — a zero-cost join that
     may exceed the delay bound; a later reshaping pass can move it.  Raises
     [Invalid_argument] if the node is already a member or no connection to
-    the tree exists. *)
+    the tree exists.
+
+    [spf_dist] supplies the joiner's unicast SPF distance when the caller
+    already maintains it (protection sessions keep the source-rooted tree
+    incrementally via {!Smrp_graph.Dspf}), skipping the per-join distance
+    search. *)
 
 val leave : Tree.t -> int -> unit
 (** Explicit [Leave_Req]: alias of {!Tree.remove_member}. *)

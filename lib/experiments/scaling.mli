@@ -1,0 +1,45 @@
+(** Large-n scaling sweep: how generation, the incremental SPF and the
+    protection tables behave as the topology grows to 10⁵–10⁶ nodes.
+
+    Each row draws one topology with {!Smrp_topology.Scale} (degree held at
+    ~8 via {!Smrp_topology.Scale.degree_params}), then measures on it:
+
+    - [gen_s]: the draw, connectivity repair and CSR freeze;
+    - [spf_build_s]: {!Smrp_graph.Dspf.create}, the one full Dijkstra a
+      protection session ever runs;
+    - [spf_repair_us]: mean incremental update for a tree-edge
+      fail/restore pair, over a sample of tree edges;
+    - [protect_entry_ms]: mean branch-detour precompute per protection
+      table entry, over a bounded sample of the sample tree's edges (a
+      full [Protect.prepare] costs entries x this — background work a
+      session amortises across the inter-failure quiet period);
+    - [protect_lookup_ns]: the O(1) table read answering a recovery query.
+
+    The member and entry samples are deliberately small: table precompute
+    is per tree edge, and the sweep bounds wall-clock so CI can run it;
+    the bench suite measures the same quantities statistically at fixed
+    size. *)
+
+type row = {
+  model : string;  (** ["waxman"] or ["transit-stub"]. *)
+  n : int;
+  edges : int;
+  avg_degree : float;
+  gen_s : float;
+  spf_build_s : float;
+  spf_repair_us : float;
+  tree_edges : int;
+  protect_entry_ms : float;
+  protect_lookup_ns : float;
+}
+
+val run : ?ns:int list -> seed:int -> unit -> row list
+(** Two rows (Waxman, transit–stub) per requested size; [ns] defaults to
+    [[10_000; 100_000]].  Each draw uses a {!Smrp_rng.Rng.split} of the
+    seed, so rows are reproducible independently. *)
+
+val render : row list -> string
+(** Fixed-width table, one row per measurement. *)
+
+val to_json : row list -> string
+(** Machine-readable report ([smrp-scaling-v1]) for the CI artifact. *)

@@ -1,0 +1,379 @@
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  graph : Graph.t;
+  xs : vec;
+  ys : vec;
+  repaired_edges : int list;
+  cutoff : float;
+  missed_edge_bound : float;
+}
+
+let diag = sqrt 2.0
+
+let default_p_floor = 1e-9
+
+let degree_params ~n ~target_degree =
+  if n < 2 then invalid_arg "Scale.degree_params: n must be at least 2";
+  if target_degree <= 0.0 then invalid_arg "Scale.degree_params: target_degree must be positive";
+  (* For pairs drawn uniformly in the unit square the short-range distance
+     density is ~ 2*pi*d, so E[p] = alpha * 2*pi*(beta*l)^2 once beta*l is
+     small against the square; solving E[deg] = (n-1) * E[p] for beta at a
+     fixed dense alpha keeps the degree constant as n grows. *)
+  let alpha = 0.9 in
+  let s2 = target_degree /. (float_of_int (n - 1) *. alpha *. 2.0 *. Float.pi) in
+  let beta = sqrt s2 /. diag in
+  (alpha, Float.min beta 1.0)
+
+(* -- Grid buckets --------------------------------------------------------- *)
+
+(* CSR-of-cells: [start.(c) .. start.(c+1) - 1] of [order] are the nodes of
+   cell [c].  Flat int arrays only; nothing allocated per node. *)
+type grid = { side : int; start : int array; order : int array }
+
+let cell_of grid x = min (grid.side - 1) (int_of_float (x *. float_of_int grid.side))
+
+let build_grid ~side ~n xs ys =
+  let cells = side * side in
+  let start = Array.make (cells + 1) 0 in
+  let order = Array.make n 0 in
+  let g = { side; start; order } in
+  for i = 0 to n - 1 do
+    let c = (cell_of g ys.{i} * side) + cell_of g xs.{i} in
+    start.(c + 1) <- start.(c + 1) + 1
+  done;
+  for c = 1 to cells do
+    start.(c) <- start.(c) + start.(c - 1)
+  done;
+  let fill = Array.copy start in
+  for i = 0 to n - 1 do
+    let c = (cell_of g ys.{i} * side) + cell_of g xs.{i} in
+    order.(fill.(c)) <- i;
+    fill.(c) <- fill.(c) + 1
+  done;
+  g
+
+(* -- Union-find ----------------------------------------------------------- *)
+
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    let r = find parent p in
+    parent.(i) <- r;
+    r
+  end
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra = rb then false
+  else begin
+    parent.(ra) <- rb;
+    true
+  end
+
+(* -- Waxman --------------------------------------------------------------- *)
+
+let min_delay = Waxman.min_delay
+
+let make_delay link_delay rng d =
+  match link_delay with
+  | `Euclidean -> Float.max min_delay d
+  | `Unit -> 1.0
+  | `Uniform (lo, hi) ->
+      if lo <= 0.0 || hi < lo then invalid_arg "Scale.waxman: bad uniform delay range";
+      lo +. Rng.float rng (hi -. lo)
+
+(* Stitch the raw draw into one component.  Minor components (smallest
+   first) each connect to the geometrically nearest node outside their own
+   component, found by an expanding ring scan over the grid — the O(n²)
+   closest-pair scan of {!Waxman.generate} replaced by local search. *)
+let repair link_delay rng g grid parent xs ys =
+  let n = Graph.node_count g in
+  let comp_size = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let r = find parent i in
+    comp_size.(r) <- comp_size.(r) + 1
+  done;
+  let main_root = ref 0 in
+  for i = 0 to n - 1 do
+    if comp_size.(i) > comp_size.(!main_root) then main_root := i
+  done;
+  let minors = ref [] in
+  for i = 0 to n - 1 do
+    if find parent i = i && i <> !main_root then minors := i :: !minors
+  done;
+  let minors =
+    List.sort (fun a b -> compare comp_size.(a) comp_size.(b)) !minors
+  in
+  (* Node lists only for the minor components: the common case (one giant
+     component, a handful of strays) allocates next to nothing. *)
+  let members = Array.make n [] in
+  for i = n - 1 downto 0 do
+    let r = find parent i in
+    if r <> !main_root then members.(r) <- i :: members.(r)
+  done;
+  let side = grid.side in
+  (* Nearest node outside [u]'s current component: scan rings of cells
+     around [u] outward; once a ring yields a candidate, scan one more ring
+     (a nearer point can sit just across a cell boundary) and stop. *)
+  let nearest_outside u =
+    let root = find parent u in
+    let cx = cell_of grid xs.{u} and cy = cell_of grid ys.{u} in
+    let best = ref (-1) and best_d2 = ref infinity in
+    let scan_cell gx gy =
+      if gx >= 0 && gx < side && gy >= 0 && gy < side then begin
+        let c = (gy * side) + gx in
+        for k = grid.start.(c) to grid.start.(c + 1) - 1 do
+          let v = grid.order.(k) in
+          if find parent v <> root then begin
+            let dx = xs.{u} -. xs.{v} and dy = ys.{u} -. ys.{v} in
+            let d2 = (dx *. dx) +. (dy *. dy) in
+            if d2 < !best_d2 then begin
+              best := v;
+              best_d2 := d2
+            end
+          end
+        done
+      end
+    in
+    let r = ref 0 in
+    let last = ref max_int in
+    while !r < side + 1 && !r <= !last do
+      (if !r = 0 then scan_cell cx cy
+       else begin
+         for gx = cx - !r to cx + !r do
+           scan_cell gx (cy - !r);
+           scan_cell gx (cy + !r)
+         done;
+         for gy = cy - !r + 1 to cy + !r - 1 do
+           scan_cell (cx - !r) gy;
+           scan_cell (cx + !r) gy
+         done
+       end);
+      if !best >= 0 && !last = max_int then last := !r + 1;
+      incr r
+    done;
+    if !best < 0 then None else Some (!best, sqrt !best_d2)
+  in
+  let added = ref [] in
+  List.iter
+    (fun root ->
+      (* The component may already have been merged into a previous one;
+         its node list is still the right search seed either way. *)
+      let best = ref None in
+      List.iter
+        (fun u ->
+          match nearest_outside u with
+          | Some (v, d) -> (
+              match !best with
+              | Some (_, _, bd) when bd <= d -> ()
+              | _ -> best := Some (u, v, d))
+          | None -> ())
+        members.(root);
+      match !best with
+      | Some (u, v, d) ->
+          let id = Graph.add_edge g u v (make_delay link_delay rng d) in
+          ignore (union parent u v);
+          added := id :: !added
+      | None -> ())
+    minors;
+  List.rev !added
+
+let waxman ?(link_delay = `Euclidean) ?(p_floor = default_p_floor) rng ~n ~alpha ~beta =
+  if n <= 0 then invalid_arg "Scale.waxman: n must be positive";
+  if alpha <= 0.0 || alpha > 1.0 then invalid_arg "Scale.waxman: alpha out of (0, 1]";
+  if beta <= 0.0 || beta > 1.0 then invalid_arg "Scale.waxman: beta out of (0, 1]";
+  if p_floor <= 0.0 then invalid_arg "Scale.waxman: p_floor must be positive";
+  let xs = Bigarray.(Array1.create float64 c_layout n) in
+  let ys = Bigarray.(Array1.create float64 c_layout n) in
+  for i = 0 to n - 1 do
+    xs.{i} <- Rng.float rng 1.0;
+    ys.{i} <- Rng.float rng 1.0
+  done;
+  let s = beta *. diag in
+  (* Pairs beyond [cutoff] have edge probability below [p_floor] and are
+     never sampled; the expected number of edges lost to the truncation is
+     below [n^2/2 * p_floor] (see .mli). *)
+  let cutoff = if p_floor >= alpha then 0.0 else Float.min diag (s *. log (alpha /. p_floor)) in
+  let missed_edge_bound =
+    if cutoff >= diag then 0.0 else 0.5 *. float_of_int n *. float_of_int (n - 1) *. p_floor
+  in
+  let side =
+    let by_cutoff =
+      if cutoff >= 1.0 then 1 else max 1 (int_of_float (1.0 /. Float.max cutoff 1e-6))
+    in
+    let cap = max 1 (int_of_float (ceil (sqrt (float_of_int n)))) in
+    min by_cutoff cap
+  in
+  let grid = build_grid ~side ~n xs ys in
+  let g = Graph.create n in
+  let parent = Array.init n (fun i -> i) in
+  let cutoff2 = cutoff *. cutoff in
+  let consider u v =
+    let dx = xs.{u} -. xs.{v} and dy = ys.{u} -. ys.{v} in
+    let d2 = (dx *. dx) +. (dy *. dy) in
+    if d2 <= cutoff2 then begin
+      let d = sqrt d2 in
+      let p = alpha *. exp (-.d /. s) in
+      if Rng.float rng 1.0 < p then begin
+        ignore (Graph.add_edge g u v (make_delay link_delay rng d));
+        ignore (union parent u v)
+      end
+    end
+  in
+  (* Cell width is 1/side >= cutoff unless the sqrt(n) cap kicked in, so the
+     candidate ring radius in cells is usually 1. *)
+  let reach = max 1 (int_of_float (ceil (cutoff *. float_of_int side))) in
+  let cells = side * side in
+  for c = 0 to cells - 1 do
+    let cx = c mod side and cy = c / side in
+    (* Same cell: each unordered pair once. *)
+    for k1 = grid.start.(c) to grid.start.(c + 1) - 1 do
+      for k2 = k1 + 1 to grid.start.(c + 1) - 1 do
+        consider grid.order.(k1) grid.order.(k2)
+      done
+    done;
+    (* Neighbor cells in the lexicographically-positive half ring, so each
+       unordered pair of cells is visited exactly once. *)
+    for dy = 0 to reach do
+      let dx_lo = if dy = 0 then 1 else -reach in
+      for dx = dx_lo to reach do
+        let gx = cx + dx and gy = cy + dy in
+        if gx >= 0 && gx < side && gy < side then begin
+          let c' = (gy * side) + gx in
+          for k1 = grid.start.(c) to grid.start.(c + 1) - 1 do
+            for k2 = grid.start.(c') to grid.start.(c' + 1) - 1 do
+              consider grid.order.(k1) grid.order.(k2)
+            done
+          done
+        end
+      done
+    done
+  done;
+  let repaired_edges = repair link_delay rng g grid parent xs ys in
+  Graph.freeze g;
+  { graph = g; xs; ys; repaired_edges; cutoff; missed_edge_bound }
+
+(* -- Transit–stub --------------------------------------------------------- *)
+
+type ts = {
+  ts_graph : Graph.t;
+  transit_total : int;
+  stub_count : int;
+  stub_of : int array;
+  stub_gateway : int array;
+  stub_attach : int array;
+}
+
+let transit_link_delay = 1.0
+
+let access_link_delay = 0.5
+
+let transit_stub rng (p : Transit_stub.params) =
+  if
+    p.Transit_stub.transit_domains < 1
+    || p.Transit_stub.transit_nodes_per_domain < 1
+    || p.Transit_stub.stub_nodes < 1
+    || p.Transit_stub.stubs_per_transit_node < 0
+  then invalid_arg "Scale.transit_stub: bad parameters";
+  let tpd = p.Transit_stub.transit_nodes_per_domain in
+  let sn = p.Transit_stub.stub_nodes in
+  let transit_total = p.Transit_stub.transit_domains * tpd in
+  let stub_count = transit_total * p.Transit_stub.stubs_per_transit_node in
+  let n = transit_total + (stub_count * sn) in
+  let g = Graph.create n in
+  let stub_of = Array.make n (-1) in
+  (* Transit level: a ring per domain plus one random chord, and one link
+     between consecutive domains — the same wiring as
+     {!Transit_stub.generate}. *)
+  for dom = 0 to p.Transit_stub.transit_domains - 1 do
+    let base = dom * tpd in
+    if tpd > 1 then
+      for i = 0 to tpd - 1 do
+        let next = base + ((i + 1) mod tpd) in
+        if not (Graph.mem_edge g (base + i) next) then
+          ignore (Graph.add_edge g (base + i) next transit_link_delay)
+      done;
+    if tpd >= 4 then begin
+      let a = base + Rng.int rng tpd in
+      let b = base + Rng.int rng tpd in
+      if a <> b && not (Graph.mem_edge g a b) then
+        ignore (Graph.add_edge g a b transit_link_delay)
+    end
+  done;
+  for dom = 0 to p.Transit_stub.transit_domains - 2 do
+    let a = (dom * tpd) + Rng.int rng tpd in
+    let b = ((dom + 1) * tpd) + Rng.int rng tpd in
+    if not (Graph.mem_edge g a b) then ignore (Graph.add_edge g a b (2.0 *. transit_link_delay))
+  done;
+  (* Stub level, streamed: every stub domain draws its Waxman directly into
+     [g] over scratch coordinate buffers reused across stubs — no
+     per-stub graph, no per-node allocation. *)
+  let sxs = Bigarray.(Array1.create float64 c_layout sn) in
+  let sys = Bigarray.(Array1.create float64 c_layout sn) in
+  let sparent = Array.make sn 0 in
+  let s = p.Transit_stub.stub_beta *. diag in
+  let stub_gateway = Array.make (max 1 stub_count) 0 in
+  let stub_attach = Array.make (max 1 stub_count) 0 in
+  let next_node = ref transit_total in
+  let stub_id = ref 0 in
+  for transit = 0 to transit_total - 1 do
+    for _ = 1 to p.Transit_stub.stubs_per_transit_node do
+      let d = !stub_id in
+      incr stub_id;
+      stub_gateway.(d) <- transit;
+      let base = !next_node in
+      next_node := base + sn;
+      for i = 0 to sn - 1 do
+        stub_of.(base + i) <- d;
+        sxs.{i} <- Rng.float rng 1.0;
+        sys.{i} <- Rng.float rng 1.0;
+        sparent.(i) <- i
+      done;
+      (* Stubs are small: the all-pairs scan is O(stub_nodes²) with
+         stub_nodes a (tiny) constant — still linear in total size. *)
+      for i = 0 to sn - 1 do
+        for j = i + 1 to sn - 1 do
+          let dx = sxs.{i} -. sxs.{j} and dy = sys.{i} -. sys.{j} in
+          let dist = sqrt ((dx *. dx) +. (dy *. dy)) in
+          let prob = p.Transit_stub.stub_alpha *. exp (-.dist /. s) in
+          if Rng.float rng 1.0 < prob then begin
+            ignore (Graph.add_edge g (base + i) (base + j) (Float.max min_delay dist));
+            ignore (union sparent i j)
+          end
+        done
+      done;
+      (* Intra-stub connectivity: stitch the closest cross-component pair
+         until one component remains. *)
+      let rec stitch () =
+        let best = ref None in
+        for i = 0 to sn - 1 do
+          for j = i + 1 to sn - 1 do
+            if find sparent i <> find sparent j then begin
+              let dx = sxs.{i} -. sxs.{j} and dy = sys.{i} -. sys.{j} in
+              let d2 = (dx *. dx) +. (dy *. dy) in
+              match !best with
+              | Some (bd, _, _) when bd <= d2 -> ()
+              | _ -> best := Some (d2, i, j)
+            end
+          done
+        done;
+        match !best with
+        | None -> ()
+        | Some (d2, i, j) ->
+            ignore (Graph.add_edge g (base + i) (base + j) (Float.max min_delay (sqrt d2)));
+            ignore (union sparent i j);
+            stitch ()
+      in
+      stitch ();
+      let attach = base + Rng.int rng sn in
+      stub_attach.(d) <- attach;
+      ignore (Graph.add_edge g attach transit access_link_delay)
+    done
+  done;
+  Graph.freeze g;
+  { ts_graph = g; transit_total; stub_count; stub_of; stub_gateway; stub_attach }

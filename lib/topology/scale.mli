@@ -1,0 +1,80 @@
+(** Streaming topology generation for large [n] (10⁵–10⁶ nodes).
+
+    {!Waxman.generate} scans every node pair — O(n²) probability draws and a
+    tuple-per-node position array — which caps it at a few thousand nodes.
+    This module regenerates the same topology families CSR-natively:
+
+    - node coordinates live in two flat float64 bigarrays;
+    - the Waxman pair scan is bucketed on a uniform grid sized to the
+      probability cutoff, so only geometrically plausible pairs are
+      examined;
+    - connectivity repair unions components along locally-nearest links
+      found by expanding ring search instead of the O(n²·components)
+      closest-pair scan;
+    - transit–stub domains stream straight into one graph over reused
+      scratch buffers (no per-stub graph allocation).
+
+    The price of the grid cutoff is a truncated tail: pairs whose edge
+    probability falls below [p_floor] are never sampled.  The expected
+    number of edges lost is below [n²/2 · p_floor] (default [p_floor]
+    = 1e-9: under one expected edge up to n = 4·10⁴, ~0.5 at n = 10⁶ —
+    and those edges are the longest, least likely ones).  Within the
+    cutoff the draw is exact Bernoulli, per pair, like the dense
+    generator.  Draw order differs from {!Waxman.generate}, so the two
+    produce different (equally distributed) topologies from equal seeds. *)
+
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  graph : Smrp_graph.Graph.t;  (** Frozen (CSR built) before return. *)
+  xs : vec;
+  ys : vec;  (** Unit-square coordinates, indexed by node. *)
+  repaired_edges : int list;
+      (** Edge ids added by the connectivity repair pass. *)
+  cutoff : float;
+      (** Geometric distance beyond which pairs were not sampled. *)
+  missed_edge_bound : float;
+      (** Upper bound on the expected number of edges lost to the cutoff
+          (0 when the cutoff covers the whole square). *)
+}
+
+val degree_params : n:int -> target_degree:float -> float * float
+(** [(alpha, beta)] whose expected average degree is [target_degree] at
+    size [n], from the short-range closed form
+    [E(deg) ≈ (n-1) · alpha · 2π(beta·l)²] — the knob that keeps degree
+    constant as [n] grows, where {!Waxman.calibrate_alpha}'s empirical
+    bisection would need full draws. *)
+
+val waxman :
+  ?link_delay:Waxman.link_delay ->
+  ?p_floor:float ->
+  Smrp_rng.Rng.t ->
+  n:int ->
+  alpha:float ->
+  beta:float ->
+  t
+(** Grid-bucketed Waxman draw; [link_delay] defaults to [`Euclidean],
+    [p_floor] to 1e-9.  The result is always connected (see
+    [repaired_edges]).  Work is O(n + sampled pairs): with degree held
+    constant via {!degree_params}, generation at n = 10⁵–10⁶ runs in
+    seconds where the dense scan would take hours. *)
+
+(** {2 Transit–stub} *)
+
+type ts = {
+  ts_graph : Smrp_graph.Graph.t;  (** Frozen (CSR built) before return. *)
+  transit_total : int;  (** Transit routers are nodes [0 .. transit_total-1]. *)
+  stub_count : int;
+  stub_of : int array;
+      (** Per node: its stub domain id, or -1 for transit routers. *)
+  stub_gateway : int array;  (** Per stub: the sponsoring transit router. *)
+  stub_attach : int array;  (** Per stub: the stub router holding the access link. *)
+}
+
+val transit_stub : Smrp_rng.Rng.t -> Transit_stub.params -> ts
+(** The {!Transit_stub.generate} wiring (per-domain transit rings with a
+    chord, inter-domain links, one connected Waxman stub per sponsorship)
+    streamed into a single graph: every stub draws over two reused scratch
+    coordinate buffers, so total work and allocation are linear in the node
+    count.  Role/gateway bookkeeping uses flat int arrays in place of the
+    per-node variant array. *)

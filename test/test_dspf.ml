@@ -1,0 +1,291 @@
+module Rng = Smrp_rng.Rng
+module Graph = Smrp_graph.Graph
+module Dijkstra = Smrp_graph.Dijkstra
+module Dspf = Smrp_graph.Dspf
+module Waxman = Smrp_topology.Waxman
+module Transit_stub = Smrp_topology.Transit_stub
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Exact-equality differential: after every mutation the incremental
+   structure must agree with a fresh [run_reference] over the surviving
+   elements — bit-identical distances, no epsilon. *)
+let agree_with_reference t =
+  let g = Dspf.graph t in
+  let src = Dspf.source t in
+  if Dspf.node_failed t src then begin
+    for v = 0 to Graph.node_count g - 1 do
+      if Dspf.distance t v <> None then
+        Alcotest.failf "node %d reachable under a dead source" v
+    done
+  end
+  else begin
+    let r =
+      Dijkstra.run_reference
+        ~node_ok:(fun v -> not (Dspf.node_failed t v))
+        ~edge_ok:(fun eid -> not (Dspf.edge_failed t eid))
+        g ~source:src
+    in
+    for v = 0 to Graph.node_count g - 1 do
+      match (Dspf.distance t v, Dijkstra.distance r v) with
+      | None, None -> ()
+      | Some a, Some b when a = b -> ()
+      | a, b ->
+          let s = function None -> "unreachable" | Some d -> Printf.sprintf "%.17g" d in
+          Alcotest.failf "node %d: dspf=%s reference=%s" v (s a) (s b)
+    done
+  end;
+  (* Tree pointers must certify the distances they claim. *)
+  check "verify" true (Dspf.verify t)
+
+(* -- Hand-pinned cases -------------------------------------------------- *)
+
+let path_graph delays =
+  let n = Array.length delays + 1 in
+  let g = Graph.create n in
+  Array.iteri (fun i d -> ignore (Graph.add_edge g i (i + 1) d)) delays;
+  g
+
+let pinned_chain () =
+  (* 0 -1- 1 -1- 2 -1- 3, plus a long bypass 0 -5- 3. *)
+  let g = path_graph [| 1.0; 1.0; 1.0 |] in
+  let bypass = Graph.add_edge g 0 3 5.0 in
+  let t = Dspf.create g ~source:0 in
+  agree_with_reference t;
+  check "d3" true (Dspf.distance t 3 = Some 3.0);
+  (* Cutting 1-2 re-routes 2 and 3 over the bypass. *)
+  Dspf.fail_edge t 1;
+  agree_with_reference t;
+  check "d3 via bypass" true (Dspf.distance t 3 = Some 5.0);
+  check "d2 via bypass" true (Dspf.distance t 2 = Some 6.0);
+  (* Cutting the bypass too disconnects the tail. *)
+  Dspf.fail_edge t bypass;
+  agree_with_reference t;
+  check "2 unreachable" true (Dspf.distance t 2 = None);
+  check "3 unreachable" true (Dspf.distance t 3 = None);
+  (* Restoration heals exactly. *)
+  Dspf.restore_edge t 1;
+  agree_with_reference t;
+  check "d3 healed" true (Dspf.distance t 3 = Some 3.0)
+
+let pinned_source_subtree_disconnect () =
+  (* The failure severs the source's only outgoing tree edge: the whole
+     tree below the source is the affected subtree. *)
+  let g = path_graph [| 1.0; 1.0; 1.0; 1.0 |] in
+  let t = Dspf.create g ~source:0 in
+  Dspf.fail_edge t 0;
+  agree_with_reference t;
+  for v = 1 to 4 do
+    check "cut off" true (Dspf.distance t v = None)
+  done;
+  check "source still zero" true (Dspf.distance t 0 = Some 0.0);
+  Dspf.restore_edge t 0;
+  agree_with_reference t;
+  check "healed" true (Dspf.distance t 4 = Some 4.0)
+
+let pinned_source_failure () =
+  let g = path_graph [| 1.0; 2.0 |] in
+  let t = Dspf.create g ~source:0 in
+  Dspf.fail_node t 0;
+  agree_with_reference t;
+  check "source dead" true (Dspf.distance t 0 = None);
+  Dspf.restore_node t 0;
+  agree_with_reference t;
+  check "rebuilt" true (Dspf.distance t 2 = Some 3.0)
+
+let pinned_interior_node_failure () =
+  (* Star-with-ring: killing the hub forces ring detours. *)
+  let g = Graph.create 5 in
+  ignore (Graph.add_edge g 0 1 1.0);
+  ignore (Graph.add_edge g 1 2 1.0);
+  ignore (Graph.add_edge g 1 3 1.0);
+  ignore (Graph.add_edge g 2 4 1.0);
+  ignore (Graph.add_edge g 3 4 1.0);
+  ignore (Graph.add_edge g 0 2 10.0);
+  let t = Dspf.create g ~source:0 in
+  agree_with_reference t;
+  Dspf.fail_node t 1;
+  agree_with_reference t;
+  check "2 via long arc" true (Dspf.distance t 2 = Some 10.0);
+  check "4 via long arc" true (Dspf.distance t 4 = Some 11.0);
+  Dspf.restore_node t 1;
+  agree_with_reference t;
+  check "2 healed" true (Dspf.distance t 2 = Some 2.0)
+
+let pinned_repeated_fail_restore () =
+  (* Hammer the same tree edge: state must be idempotent and exact over
+     many cycles, including double-fail / double-restore no-ops. *)
+  let g = path_graph [| 1.0; 1.0; 1.0 |] in
+  ignore (Graph.add_edge g 0 3 9.0);
+  let t = Dspf.create g ~source:0 in
+  for _ = 1 to 20 do
+    Dspf.fail_edge t 1;
+    Dspf.fail_edge t 1;
+    agree_with_reference t;
+    Dspf.restore_edge t 1;
+    Dspf.restore_edge t 1;
+    agree_with_reference t
+  done;
+  check "back to base" true (Dspf.distance t 3 = Some 3.0)
+
+let pinned_set_delay () =
+  (* [run_reference] reads the graph's own delays, so overlay-delay cases
+     are pinned on exact distances plus the from-scratch [verify]. *)
+  let g = path_graph [| 1.0; 1.0 |] in
+  let alt = Graph.add_edge g 0 2 3.0 in
+  let t = Dspf.create g ~source:0 in
+  check "base" true (Dspf.distance t 2 = Some 2.0);
+  (* Increase on a tree edge: downstream subtree re-routes. *)
+  Dspf.set_delay t 1 10.0;
+  check "verify after increase" true (Dspf.verify t);
+  check "rerouted" true (Dspf.distance t 2 = Some 3.0);
+  (* Decrease below the alternative: grow-cascade takes it back. *)
+  Dspf.set_delay t 1 0.5;
+  check "verify after decrease" true (Dspf.verify t);
+  check "back" true (Dspf.distance t 2 = Some 1.5);
+  (* Delay change on a dead edge applies at restoration. *)
+  Dspf.fail_edge t alt;
+  Dspf.set_delay t alt 0.25;
+  check "verify on dead edge" true (Dspf.verify t);
+  Dspf.restore_edge t alt;
+  check "verify after restore" true (Dspf.verify t);
+  check "restored with new delay" true (Dspf.distance t 2 = Some 0.25);
+  Alcotest.check_raises "positive delay required"
+    (Invalid_argument "Dspf.set_delay: delay must be positive") (fun () ->
+      Dspf.set_delay t 0 0.0)
+
+let pinned_locality () =
+  (* A leaf-edge failure must not touch the rest of the tree. *)
+  let g = path_graph [| 1.0; 1.0; 1.0; 1.0; 1.0 |] in
+  let t = Dspf.create g ~source:0 in
+  let before = (Dspf.stats t).Dspf.touched in
+  Dspf.fail_edge t 4;
+  let after = (Dspf.stats t).Dspf.touched in
+  agree_with_reference t;
+  check_int "only the leaf touched" 1 (after - before)
+
+(* -- Randomized mutation-sequence differential --------------------------- *)
+
+type mutation = Fail_edge | Restore_edge | Fail_node | Restore_node | Set_delay
+
+let fail_restore_mutations = [| Fail_edge; Restore_edge; Fail_node; Restore_node |]
+let all_mutations = [| Fail_edge; Restore_edge; Fail_node; Restore_node; Set_delay |]
+
+let apply_mutation rng t ~source mu =
+  let g = Dspf.graph t in
+  let m = Graph.edge_count g in
+  let n = Graph.node_count g in
+  match mu with
+  | Fail_edge -> Dspf.fail_edge t (Rng.int rng m)
+  | Restore_edge -> Dspf.restore_edge t (Rng.int rng m)
+  | Fail_node ->
+      (* Keep the source alive in most steps so the tree stays
+         interesting; kill it outright now and then. *)
+      let v = Rng.int rng n in
+      Dspf.fail_node t (if v = source && Rng.int rng 4 <> 0 then (v + 1) mod n else v)
+  | Restore_node -> Dspf.restore_node t (Rng.int rng n)
+  | Set_delay ->
+      let eid = Rng.int rng m in
+      Dspf.set_delay t eid (0.05 +. Rng.float rng 5.0)
+
+(* Apply [steps] random fail/restore mutations, checking exact agreement
+   with [run_reference] after every single one.  Returns the number of
+   mutations performed (no-ops on already-dead/live elements still count
+   as checks).  [set_delay] is excluded here — the reference reads the
+   graph's own delays, not the overlay — and exercised by
+   {!delay_overlay_run} against the from-scratch recompute instead. *)
+let differential_run rng g ~source ~steps =
+  let t = Dspf.create g ~source in
+  agree_with_reference t;
+  for _ = 1 to steps do
+    apply_mutation rng t ~source (Rng.pick rng fail_restore_mutations);
+    agree_with_reference t
+  done;
+  steps
+
+(* Mixed run including delay overrides, validated after every mutation by
+   [Dspf.verify] — a from-scratch Dijkstra over the same overlay. *)
+let delay_overlay_run rng g ~source ~steps =
+  let t = Dspf.create g ~source in
+  check "verify initial" true (Dspf.verify t);
+  for _ = 1 to steps do
+    apply_mutation rng t ~source (Rng.pick rng all_mutations);
+    if not (Dspf.verify t) then Alcotest.fail "dspf diverged from recompute"
+  done;
+  steps
+
+let random_waxman_differential () =
+  let rng = Rng.create 20250809 in
+  let total = ref 0 in
+  for case = 1 to 4 do
+    let topo_rng = Rng.split rng in
+    let mut_rng = Rng.split rng in
+    let w = Waxman.generate topo_rng ~n:(40 + (10 * case)) ~alpha:0.2 ~beta:0.25 in
+    total := !total + differential_run mut_rng w.Waxman.graph ~source:0 ~steps:160
+  done;
+  check "≥640 waxman mutations" true (!total >= 640)
+
+let random_transit_stub_differential () =
+  let rng = Rng.create 77031 in
+  let total = ref 0 in
+  for _ = 1 to 3 do
+    let topo_rng = Rng.split rng in
+    let mut_rng = Rng.split rng in
+    let ts = Transit_stub.generate topo_rng Transit_stub.default_params in
+    total := !total + differential_run mut_rng ts.Transit_stub.graph ~source:0 ~steps:160
+  done;
+  check "≥480 transit-stub mutations" true (!total >= 480)
+
+let random_delay_overlay_differential () =
+  let rng = Rng.create 5150 in
+  let total = ref 0 in
+  for _ = 1 to 2 do
+    let topo_rng = Rng.split rng in
+    let mut_rng = Rng.split rng in
+    let w = Waxman.generate topo_rng ~n:45 ~alpha:0.2 ~beta:0.25 in
+    total := !total + delay_overlay_run mut_rng w.Waxman.graph ~source:0 ~steps:120
+  done;
+  check "≥240 overlay mutations" true (!total >= 240)
+
+let stats_count_ops () =
+  let g = path_graph [| 1.0; 1.0 |] in
+  let t = Dspf.create g ~source:0 in
+  Dspf.fail_edge t 0;
+  Dspf.fail_edge t 0 (* no-op *);
+  Dspf.restore_edge t 0;
+  let s = Dspf.stats t in
+  check_int "ops" 2 s.Dspf.ops;
+  check "touched bounded" true (s.Dspf.touched <= 3 * Graph.node_count g)
+
+let create_rejects_bad_source () =
+  let g = Graph.create 3 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Dspf.create: source out of range") (fun () ->
+      ignore (Dspf.create g ~source:3))
+
+let () =
+  Alcotest.run "dspf"
+    [
+      ( "pinned",
+        [
+          Alcotest.test_case "chain fail/restore" `Quick pinned_chain;
+          Alcotest.test_case "source subtree disconnect" `Quick pinned_source_subtree_disconnect;
+          Alcotest.test_case "source failure" `Quick pinned_source_failure;
+          Alcotest.test_case "interior node failure" `Quick pinned_interior_node_failure;
+          Alcotest.test_case "repeated fail/restore same edge" `Quick pinned_repeated_fail_restore;
+          Alcotest.test_case "set_delay" `Quick pinned_set_delay;
+          Alcotest.test_case "leaf failure locality" `Quick pinned_locality;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "waxman ≥640 mutations" `Quick random_waxman_differential;
+          Alcotest.test_case "transit-stub ≥480 mutations" `Quick random_transit_stub_differential;
+          Alcotest.test_case "delay overlay ≥240 mutations" `Quick random_delay_overlay_differential;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "stats count ops" `Quick stats_count_ops;
+          Alcotest.test_case "create rejects bad source" `Quick create_rejects_bad_source;
+        ] );
+    ]

@@ -77,6 +77,33 @@ let csr_matches_neighbors () =
     done
   done
 
+(* Degenerate freezes: the CSR arrays must keep their shape invariants
+   (offsets has n+1 slots, all zero when there are no edges) so iteration
+   and the raw-array consumers (Dspf, Protect) never special-case n <= 1. *)
+let freeze_empty () =
+  let g = Graph.create 0 in
+  Graph.freeze g;
+  let offsets, nbr, eids, delays = Graph.csr g in
+  check_ilist "offsets of empty graph" [ 0 ] (Array.to_list offsets);
+  check_int "no adjacency slots" 0 (Array.length nbr);
+  check_int "no eid slots" 0 (Array.length eids);
+  check_int "no delay slots" 0 (Array.length delays);
+  (* Freeze is idempotent and survives a redundant second call. *)
+  Graph.freeze g;
+  check_int "still empty" 0 (Array.length (let _, a, _, _ = Graph.csr g in a))
+
+let freeze_single_node () =
+  let g = Graph.create 1 in
+  Graph.freeze g;
+  let offsets, nbr, _, _ = Graph.csr g in
+  check_ilist "offsets of 1-node graph" [ 0; 0 ] (Array.to_list offsets);
+  check_int "no adjacency slots" 0 (Array.length nbr);
+  check_int "degree of the only node" 0 (Graph.degree g 0);
+  let visited = ref 0 in
+  Graph.iter_neighbors g 0 (fun _ _ _ -> incr visited);
+  check_int "iteration visits nothing" 0 !visited;
+  Alcotest.(check (list (pair int int))) "neighbors empty" [] (Graph.neighbors g 0)
+
 let csr_rebuilds_after_mutation () =
   let g = Graph.create 3 in
   ignore (Graph.add_edge g 0 1 1.0);
@@ -363,6 +390,8 @@ let () =
           Alcotest.test_case "rejects bad edges" `Quick rejects_bad_edges;
           Alcotest.test_case "neighbors and lookup" `Quick neighbors_and_lookup;
           Alcotest.test_case "CSR matches neighbors" `Quick csr_matches_neighbors;
+          Alcotest.test_case "freeze empty graph" `Quick freeze_empty;
+          Alcotest.test_case "freeze single node" `Quick freeze_single_node;
           Alcotest.test_case "CSR rebuilds after mutation" `Quick csr_rebuilds_after_mutation;
         ] );
       ( "dijkstra",
