@@ -201,11 +201,50 @@ let check_throughput ~quick ~baseline ~results =
       | _ -> None)
     base
 
+(* Flight-recorder overhead: recorder-on event throughput must stay within
+   tolerance of recorder-off, compared within the same results file (a
+   within-run ratio, so machine speed cancels out).  The tolerance comes
+   from the baseline ([tolerances.throughput_rel.flight_recorder_overhead],
+   default 10%).  Skipped when either side is absent from the results —
+   e.g. pre-v4 results files. *)
+let check_flight_overhead ~quick ~baseline ~results =
+  let metric name = Option.bind (J.mem_path [ "micro_throughput"; name ] results) J.to_num in
+  match (metric "engine_events_per_sec", metric "engine_events_per_sec_flight_off") with
+  | Some on, Some off when off > 0.0 ->
+      let tol =
+        match
+          Option.bind
+            (J.mem_path [ "tolerances"; "throughput_rel"; "flight_recorder_overhead" ] baseline)
+            J.to_num
+        with
+        | Some t -> t
+        | None -> 0.1
+      in
+      let quick_factor =
+        if not quick then 1.0
+        else
+          match Option.bind (J.mem_path [ "tolerances"; "quick_factor" ] baseline) J.to_num with
+          | Some f -> f
+          | None -> 4.0
+      in
+      let tol = quick_factor *. tol in
+      let overhead = (off -. on) /. off in
+      let status = if overhead > tol then Regression else Ok in
+      [
+        row "throughput.flight_recorder_overhead" status
+          ~baseline:(Printf.sprintf "%.3g/s off" off)
+          ~current:(Printf.sprintf "%.3g/s on" on)
+          ~delta:(Printf.sprintf "%+.1f%%" (-100.0 *. overhead))
+          ~tolerance:(Printf.sprintf "-%.0f%%" (100.0 *. tol));
+      ]
+  | _ -> []
+
 let check ?(quick = false) ~baseline ~results () =
   let micro_rows, micro_notes = check_micro ~quick ~baseline ~results in
   let rows =
     check_schema ~baseline ~results @ check_workload ~baseline ~results @ micro_rows
     @ check_throughput ~quick ~baseline ~results
+    @ check_flight_overhead ~quick ~baseline ~results
   in
   let notes =
     micro_notes

@@ -356,6 +356,19 @@ let micro () =
                     ~code ~a:k ~b:0)
              done;
              Engine.run eng));
+      Test.make ~name:"engine_1024_events_flight_off"
+        (* Same workload with the flight recorder disabled: the pair gates
+           recorder overhead (flight_recorder_overhead in check_core). *)
+        (let eng = Engine.create ~flight:Smrp_obs.Flight.null () in
+         let code = Engine.register eng (fun _ _ -> ()) in
+         Staged.stage (fun () ->
+             for k = 0 to 1023 do
+               ignore
+                 (Engine.schedule_code eng
+                    ~delay:(0.001 *. float_of_int (k land 63))
+                    ~code ~a:k ~b:0)
+             done;
+             Engine.run eng));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
@@ -392,6 +405,8 @@ let micro () =
       (fun (m, t) (name, ns) ->
         if String.equal name "engine_1024_events" then
           (m, ("engine_events_per_sec", 1024e9 /. ns) :: t)
+        else if String.equal name "engine_1024_events_flight_off" then
+          (m, ("engine_events_per_sec_flight_off", 1024e9 /. ns) :: t)
         else if String.equal name "protect_lookup_1024" then
           (m, ("recovery_lookups_per_sec", 1024e9 /. ns) :: t)
         else ((name, ns) :: m, t))

@@ -11,6 +11,27 @@ module Ablation = Smrp_experiments.Ablation
 module Related_work = Smrp_experiments.Related_work
 module Scaling = Smrp_experiments.Scaling
 module Dot = Smrp_core.Dot
+module Flight = Smrp_obs.Flight
+module Causal = Smrp_obs.Causal
+
+(* Serialize the global flight-recorder ring (last-N records per domain)
+   next to whatever artifact the failing command produced. *)
+let write_flight_dump path =
+  Flight.write_dump path ~dropped:(Flight.dropped Flight.global) (Flight.snapshot Flight.global)
+
+(* Crash dumps for uncaught exceptions: whatever the recorder holds at the
+   crash site is worth more than the backtrace alone. [exit] does not raise,
+   so deliberate non-zero exits pass through untouched. *)
+let with_crash_dump path f =
+  try f ()
+  with exn ->
+    let bt = Printexc.get_raw_backtrace () in
+    (try
+       write_flight_dump path;
+       Printf.eprintf "crash: flight dump written to %s (inspect with: smrp inspect %s)\n%!"
+         path path
+     with _ -> ());
+    Printexc.raise_with_backtrace exn bt
 
 let seed_arg default =
   Arg.(value & opt int default & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
@@ -129,8 +150,8 @@ let latency_cmd =
     in
     attempt 50
   in
-  let run seed runs trace metrics =
-    if trace = None && not metrics then
+  let run seed runs trace metrics openmetrics =
+    if trace = None && not metrics && not openmetrics then
       print_string (Latency.render (Latency.run_many ~seed ~runs Latency.default))
     else begin
       let open_trace file =
@@ -142,7 +163,17 @@ let latency_cmd =
       let oc = Option.map open_trace trace in
       let trace_sink = Option.map Trace.channel oc in
       (match run_one ?trace_sink ~with_metrics:metrics seed with
-      | Some r -> print_string (Latency.render [ r ])
+      | Some r ->
+          if openmetrics then begin
+            let emit label (side : Latency.side_result) =
+              Printf.printf "# side: %s\n%s" label
+                (Causal.openmetrics_of_episodes side.Latency.episodes)
+            in
+            emit "smrp" r.Latency.smrp;
+            emit "pim" r.Latency.pim;
+            print_string "# EOF\n"
+          end
+          else print_string (Latency.render [ r ])
       | None -> prerr_endline "latency: no recoverable scenario found for this seed");
       Option.iter close_out oc;
       Option.iter
@@ -167,9 +198,17 @@ let latency_cmd =
       & info [ "metrics" ]
           ~doc:"Run one scenario and dump engine/net/protocol metric registries per side.")
   in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Run one scenario and emit its recovery episodes (both protocol sides) as an \
+             OpenMetrics-style text exposition.")
+  in
   Cmd.v
     (Cmd.info "latency" ~doc:"Packet-level restoration latency, SMRP vs PIM/OSPF.")
-    Term.(const run $ seed_arg 25 $ runs $ trace $ metrics)
+    Term.(const run $ seed_arg 25 $ runs $ trace $ metrics $ openmetrics)
 
 let profile_cmd =
   let module Metrics = Smrp_obs.Metrics in
@@ -263,6 +302,7 @@ let report_cmd =
   let module Report = Smrp_obs.Report in
   let module Dashboard = Smrp_experiments.Dashboard in
   let run seed scenarios quick jobs html json =
+    with_crash_dump "smrp-crash.flight" @@ fun () ->
     let base = if quick then Dashboard.quick else Dashboard.default in
     let scenarios = Option.value scenarios ~default:base.Dashboard.scenarios in
     let report = Dashboard.run ?jobs { base with Dashboard.seed; scenarios } in
@@ -331,6 +371,7 @@ let fuzz_cmd =
         exit 2
     | Ok case -> (
         Format.printf "%a@." Case.pp case;
+        Flight.reset Flight.global;
         match Fuzz.replay ~bug ~engine_diff ~protection case with
         | Exec.Pass s ->
             Printf.printf "replay: all invariants held (%d event(s) applied, %d skipped)\n"
@@ -338,6 +379,10 @@ let fuzz_cmd =
             exit 0
         | Exec.Fail v ->
             Format.printf "replay: VIOLATION %a@." Exec.pp_violation v;
+            let dump = file ^ ".flight" in
+            write_flight_dump dump;
+            Printf.printf "replay: flight dump written to %s (inspect with: smrp inspect %s)\n"
+              dump dump;
             exit 1)
   in
   let campaign ~seed ~runs ~bug ~engine_diff ~protection ~max_nodes ~out =
@@ -355,6 +400,15 @@ let fuzz_cmd =
           (match bug with
           | Exec.No_bug -> ""
           | b -> Printf.sprintf " --inject %s" (Exec.bug_to_string b));
+        (* Crash dump: re-run the shrunk case on an empty ring so the dump
+           holds exactly the failing episode, not the whole campaign's (and
+           the shrinker's) record soup. *)
+        let dump = out ^ ".flight" in
+        Flight.reset Flight.global;
+        ignore (Fuzz.replay ~bug ~engine_diff ~protection f.Fuzz.shrunk : Smrp_check.Exec.outcome);
+        write_flight_dump dump;
+        Printf.printf "fuzz: flight dump written to %s (inspect with: smrp inspect %s)\n" dump
+          dump;
         exit 1
   in
   let run seed runs inject engine_diff protection replay max_nodes out =
@@ -373,9 +427,10 @@ let fuzz_cmd =
       Printf.eprintf "fuzz: --engine-diff bypasses the tree-level session; --protection does not apply\n";
       exit 2
     end;
-    match replay with
-    | Some file -> replay_one ~bug ~engine_diff ~protection file
-    | None -> campaign ~seed ~runs ~bug ~engine_diff ~protection ~max_nodes ~out
+    with_crash_dump "smrp-crash.flight" (fun () ->
+        match replay with
+        | Some file -> replay_one ~bug ~engine_diff ~protection file
+        | None -> campaign ~seed ~runs ~bug ~engine_diff ~protection ~max_nodes ~out)
   in
   let runs =
     Arg.(value & opt int 500 & info [ "runs" ] ~docv:"N" ~doc:"Random cases to execute.")
@@ -434,6 +489,114 @@ let fuzz_cmd =
     Term.(
       const run $ seed_arg 42 $ runs $ inject $ engine_diff $ protection $ replay $ max_nodes
       $ out)
+
+let inspect_cmd =
+  let run file codes since episode openmetrics limit =
+    let records, dropped =
+      match Flight.read_dump file with
+      | r -> r
+      | exception Flight.Bad_dump msg ->
+          Printf.eprintf "inspect: %s\n" msg;
+          exit 2
+      | exception Sys_error msg ->
+          Printf.eprintf "inspect: %s\n" msg;
+          exit 2
+    in
+    let analysis = Causal.of_records ~dropped records in
+    if openmetrics then print_string (Causal.to_openmetrics analysis)
+    else begin
+      print_string (Causal.render analysis);
+      let code_ids =
+        List.map
+          (fun name ->
+            match Flight.code_of_name name with
+            | Some c -> c
+            | None ->
+                Printf.eprintf "inspect: unknown --code %S\n" name;
+                exit 2)
+          codes
+      in
+      (* b packs (src lsl 31) lor dst for net records. *)
+      let src b = b lsr 31 and dst b = b land ((1 lsl 31) - 1) in
+      let is_net c = c >= Flight.net_send && c <= Flight.net_drop_loss in
+      let touches_member m (r : Flight.decoded) =
+        if is_net r.Flight.d_code then src r.Flight.d_b = m || dst r.Flight.d_b = m
+        else if r.Flight.d_code = Flight.exec_event then
+          Causal.exec_event_operand r.Flight.d_a = m
+        else if r.Flight.d_code = Flight.exec_violation then false
+        else r.Flight.d_a = m
+      in
+      let keep (r : Flight.decoded) =
+        (code_ids = [] || List.mem r.Flight.d_code code_ids)
+        && r.Flight.d_tick >= since
+        && match episode with None -> true | Some m -> touches_member m r
+      in
+      let filtered = List.filter keep records in
+      let shown = if limit > 0 then List.filteri (fun i _ -> i < limit) filtered else filtered in
+      Printf.printf "records (%d shown of %d matching):\n" (List.length shown)
+        (List.length filtered);
+      List.iter
+        (fun (r : Flight.decoded) ->
+          let operands =
+            if is_net r.Flight.d_code then
+              Printf.sprintf "msg=%d src=%d dst=%d" r.Flight.d_a (src r.Flight.d_b)
+                (dst r.Flight.d_b)
+            else Printf.sprintf "a=%d b=%d" r.Flight.d_a r.Flight.d_b
+          in
+          Printf.printf "  %12d %-18s %s (dom %d seq %d)\n" r.Flight.d_tick
+            (Flight.code_name r.Flight.d_code)
+            operands r.Flight.d_domain r.Flight.d_seq)
+        shown;
+      if List.length filtered > List.length shown then
+        Printf.printf "  ... %d more (raise --limit, or 0 for all)\n"
+          (List.length filtered - List.length shown)
+    end
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DUMP" ~doc:"Flight-recorder dump file (written next to fuzz repros).")
+  in
+  let codes =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "code" ] ~docv:"NAME,..."
+          ~doc:
+            "Only list records with these event codes (symbolic like $(b,net.send), \
+             $(b,proto.detected), $(b,exec.violation) — or numeric).")
+  in
+  let since =
+    Arg.(
+      value & opt int 0
+      & info [ "since" ] ~docv:"TICK" ~doc:"Only list records at or after this tick.")
+  in
+  let episode =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "episode" ] ~docv:"MEMBER"
+          ~doc:"Only list records touching this member's recovery episode.")
+  in
+  let openmetrics =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:"Emit the analysis as an OpenMetrics-style text exposition instead.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 40
+      & info [ "limit" ] ~docv:"N" ~doc:"Cap the record listing (0 = unlimited).")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Decode a flight-recorder crash dump: record counts, causal recovery episodes with \
+          per-phase critical paths, oracle violations attributed to recovery phases, and a \
+          filterable record listing.")
+    Term.(const run $ file $ codes $ since $ episode $ openmetrics $ limit)
 
 let ablations_cmd =
   let run seed scenarios =
@@ -523,6 +686,7 @@ let () =
             all_cmd;
             scenario_cmd;
             fuzz_cmd;
+            inspect_cmd;
             latency_cmd;
             profile_cmd;
             report_cmd;

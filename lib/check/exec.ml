@@ -5,6 +5,8 @@ module Query = Smrp_core.Query
 module Failure = Smrp_core.Failure
 module Recovery = Smrp_core.Recovery
 module Session = Smrp_core.Session
+module Flight = Smrp_obs.Flight
+module Causal = Smrp_obs.Causal
 
 type bug = No_bug | Skip_n_r_update | Drop_member_on_reshape
 
@@ -325,7 +327,28 @@ let common_oracles s () =
               | Some f -> Oracle.avoids_failure tree f
               | None -> None)))
 
+(* Flight records for the tree-level driver: no engine, so the pseudo-tick
+   is the schedule event index. One record per event before it executes,
+   one per oracle violation — enough for `smrp inspect` to rebuild the
+   causal story of a failing case. *)
+let record_event fl index ev =
+  let kind, operand =
+    match ev with
+    | Case.Join m -> (Causal.kind_join, m)
+    | Case.Leave m -> (Causal.kind_leave, m)
+    | Case.Fail { links; nodes } -> (Causal.kind_fail, List.length links + List.length nodes)
+    | Case.Reshape -> (Causal.kind_reshape, 0)
+  in
+  Flight.record fl ~tick:index ~code:Flight.exec_event
+    ~a:(Causal.pack_exec_event ~kind ~operand)
+    ~b:index
+
+let record_violation fl index oracle =
+  Flight.record fl ~tick:index ~code:Flight.exec_violation ~a:(Causal.oracle_id oracle)
+    ~b:index
+
 let run ?(bug = No_bug) ?(protection = false) (case : Case.t) =
+  let fl = Flight.recorder Flight.global in
   let g = Case.graph case in
   let protocol =
     match case.Case.protocol with
@@ -338,6 +361,7 @@ let run ?(bug = No_bug) ?(protection = false) (case : Case.t) =
   let rec go index = function
     | [] -> Pass !stats
     | ev :: rest -> (
+        record_event fl index ev;
         let step =
           match
             match ev with
@@ -360,7 +384,9 @@ let run ?(bug = No_bug) ?(protection = false) (case : Case.t) =
                 }
         in
         match step with
-        | Bad { Oracle.oracle; message } -> Fail { index; event = ev; oracle; message }
+        | Bad { Oracle.oracle; message } ->
+            record_violation fl index oracle;
+            Fail { index; event = ev; oracle; message }
         | Skipped ->
             stats := { !stats with skipped = !stats.skipped + 1 };
             go (index + 1) rest
@@ -375,7 +401,9 @@ let run ?(bug = No_bug) ?(protection = false) (case : Case.t) =
                 switches = !stats.switches + d.switches;
               };
             match common_oracles s () with
-            | Some { Oracle.oracle; message } -> Fail { index; event = ev; oracle; message }
+            | Some { Oracle.oracle; message } ->
+                record_violation fl index oracle;
+                Fail { index; event = ev; oracle; message }
             | None -> go (index + 1) rest))
   in
   go 0 case.Case.events
@@ -395,6 +423,7 @@ let run_engine_diff (case : Case.t) =
   | { Engine_diff.mismatch = None; applied; skipped } ->
       Pass { applied; skipped; repairs = 0; protected = 0; lost = 0; switches = 0 }
   | { Engine_diff.mismatch = Some message; _ } ->
+      record_violation (Flight.recorder Flight.global) 0 "engine-differential";
       Fail { index = 0; event = anchor case; oracle = "engine-differential"; message }
   | exception exn ->
       Fail

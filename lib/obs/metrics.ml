@@ -408,11 +408,16 @@ let render t =
                  s.Sketch.s_max)
       | Series_value v ->
           let pts = v.Series.v_points in
+          let dropped =
+            if v.Series.v_dropped > 0 then Printf.sprintf " dropped=%d" v.Series.v_dropped
+            else ""
+          in
           (match (pts, List.rev pts) with
           | (t0, _) :: _, (t1, last) :: _ ->
               Buffer.add_string buf
-                (Printf.sprintf "series     %-40s points=%d span=[%g, %g] last=%g\n" name
-                   (List.length pts) t0 t1 last)
-          | _ -> Buffer.add_string buf (Printf.sprintf "series     %-40s points=0\n" name)))
+                (Printf.sprintf "series     %-40s points=%d span=[%g, %g] last=%g%s\n" name
+                   (List.length pts) t0 t1 last dropped)
+          | _ ->
+              Buffer.add_string buf (Printf.sprintf "series     %-40s points=0%s\n" name dropped)))
     (snapshot t);
   Buffer.contents buf

@@ -130,6 +130,7 @@ let json_of_series (v : Series.view) =
       ("kind", J.Str (match v.Series.v_kind with Series.Sum -> "sum" | Series.Last -> "last"));
       ("interval", J.Num v.Series.v_interval);
       ("points", J.List (List.map (fun (t, x) -> J.List [ J.Num t; J.Num x ]) v.Series.v_points));
+      ("dropped", J.Num (float_of_int v.Series.v_dropped));
     ]
 
 let json_of_variant v =
@@ -212,7 +213,9 @@ let series_of_json j =
           l
     | _ -> fail "Report.of_json: member \"points\" is not a list"
   in
-  { Series.v_kind = kind; v_interval = num "interval" j; v_points = points }
+  (* [dropped] is absent from pre-v4 reports; default 0. *)
+  let dropped = match J.member "dropped" j with Some _ -> int_mem "dropped" j | None -> 0 in
+  { Series.v_kind = kind; v_interval = num "interval" j; v_points = points; v_dropped = dropped }
 
 let variant_of_json j =
   {
@@ -396,8 +399,13 @@ let render_ascii r =
             | None -> ()
             | Some view ->
                 let pts = view.Series.v_points in
-                pr "    %-*s |%s| %d pts\n" vname_w v.v_name
-                  (ascii_spark ~lo ~hi view) (List.length pts))
+                let dropped =
+                  if view.Series.v_dropped > 0 then
+                    Printf.sprintf " (%d dropped)" view.Series.v_dropped
+                  else ""
+                in
+                pr "    %-*s |%s| %d pts%s\n" vname_w v.v_name
+                  (ascii_spark ~lo ~hi view) (List.length pts) dropped)
           variants)
       series_names
   end;
@@ -521,7 +529,11 @@ let html_spark buf ~color ~lo ~hi (view : Series.view) =
             (x t) (y v) (fg t) (fg v))
         pts;
       pr "</svg>\n";
-      pr "<div class=\"sub\">%d pts, t %s..%s</div>\n" (List.length pts) (fg t0) (fg t1);
+      let dropped =
+        if view.Series.v_dropped > 0 then Printf.sprintf ", %d dropped" view.Series.v_dropped
+        else ""
+      in
+      pr "<div class=\"sub\">%d pts, t %s..%s%s</div>\n" (List.length pts) (fg t0) (fg t1) dropped;
       pr "<details><summary>data</summary><table><tr><th>t</th><th>value</th></tr>\n";
       List.iter (fun (t, v) -> pr "<tr><td>%s</td><td>%s</td></tr>\n" (fg t) (fg v)) pts;
       pr "</table></details>\n"

@@ -132,6 +132,12 @@ let merge_into ~into src =
   into.samples <- into.samples + src.samples;
   into.dropped <- into.dropped + src.dropped
 
-type view = { v_kind : kind; v_interval : float; v_points : (float * float) list }
+type view = {
+  v_kind : kind;
+  v_interval : float;
+  v_points : (float * float) list;
+  v_dropped : int;
+}
 
-let view t = { v_kind = t.kind; v_interval = t.interval; v_points = points t }
+let view t =
+  { v_kind = t.kind; v_interval = t.interval; v_points = points t; v_dropped = t.dropped }

@@ -62,7 +62,14 @@ val merge_into : into:t -> t -> unit
     series twice double-counts).  Raises [Invalid_argument] when the
     layouts differ. *)
 
-(** Plain-data snapshot, as stored in merged {!Metrics.snapshot} values. *)
-type view = { v_kind : kind; v_interval : float; v_points : (float * float) list }
+(** Plain-data snapshot, as stored in merged {!Metrics.snapshot} values.
+    [v_dropped] counts buckets that scrolled out of the ring before the
+    snapshot — non-zero means the points no longer cover the full run. *)
+type view = {
+  v_kind : kind;
+  v_interval : float;
+  v_points : (float * float) list;
+  v_dropped : int;
+}
 
 val view : t -> view

@@ -1,4 +1,11 @@
-type episode = {
+(* Recovery-episode timelines, as a projection of {!Causal} episodes.
+
+   The milestone bookkeeping (failure → detected → signalled → installed →
+   first data) lives in [Causal.tracker]; this module keeps the original
+   paper-phase vocabulary and the fixed-width table renderer on top of the
+   shared episode record. *)
+
+type episode = Causal.episode = {
   member : int;
   failure_at : float;
   detected_at : float option;
@@ -18,88 +25,17 @@ let phase_name = function
   | Installation -> "installation"
   | First_data -> "first data"
 
-let delta a b = match (a, b) with Some a, Some b -> Some (b -. a) | _ -> None
+let to_causal = function
+  | Detection -> Causal.Detect
+  | Signalling -> Causal.Notify
+  | Installation -> Causal.Repair
+  | First_data -> Causal.Stabilize
 
 let phase_durations e =
-  [
-    (Detection, delta (Some e.failure_at) e.detected_at);
-    (Signalling, delta e.detected_at e.signalled_at);
-    (Installation, delta e.signalled_at e.installed_at);
-    (First_data, delta e.installed_at e.first_data_at);
-  ]
+  let d = Causal.phase_durations e in
+  List.map (fun p -> (p, List.assoc (to_causal p) d)) phases
 
-let total e = delta (Some e.failure_at) e.first_data_at
-
-(* Mutable working state; [episodes] freezes it into the public record. *)
-type cell = {
-  mutable detected : float option;
-  mutable signalled : float option;
-  mutable installed : float option;
-  mutable first_data : float option;
-  mutable attempts : int;
-}
-
-type recorder = { mutable failure_at : float option; tbl : (int, cell) Hashtbl.t }
-
-let create () = { failure_at = None; tbl = Hashtbl.create 8 }
-
-let note_failure r ~ts = if r.failure_at = None then r.failure_at <- Some ts
-
-let open_cell r member =
-  match Hashtbl.find_opt r.tbl member with
-  | Some c when c.first_data = None -> Some c
-  | _ -> None
-
-let note_detected r ~member ~ts =
-  if r.failure_at <> None && not (Hashtbl.mem r.tbl member) then
-    Hashtbl.add r.tbl member
-      { detected = Some ts; signalled = None; installed = None; first_data = None; attempts = 0 }
-
-let note_signalled r ~member ~ts =
-  match open_cell r member with
-  | Some c ->
-      c.signalled <- Some ts;
-      c.attempts <- c.attempts + 1
-  | None -> ()
-
-let note_installed r ~member ~ts =
-  match open_cell r member with
-  | Some c -> begin
-      (* Keep the first installation of the latest signalling attempt:
-         periodic join refreshes re-confirm state at the merge node and
-         must not push the milestone forward. *)
-      match (c.installed, c.signalled) with
-      | None, _ -> c.installed <- Some ts
-      | Some inst, Some s when s > inst -> c.installed <- Some ts
-      | _ -> ()
-    end
-  | None -> ()
-
-let note_first_data r ~member ~ts =
-  match open_cell r member with Some c -> c.first_data <- Some ts | None -> ()
-
-let freeze failure_at member (c : cell) =
-  {
-    member;
-    failure_at;
-    detected_at = c.detected;
-    signalled_at = c.signalled;
-    installed_at = c.installed;
-    first_data_at = c.first_data;
-    attempts = c.attempts;
-  }
-
-let episode r member =
-  match r.failure_at with
-  | None -> None
-  | Some failure_at -> Option.map (freeze failure_at member) (Hashtbl.find_opt r.tbl member)
-
-let episodes r =
-  match r.failure_at with
-  | None -> []
-  | Some failure_at ->
-      Hashtbl.fold (fun member c acc -> freeze failure_at member c :: acc) r.tbl []
-      |> List.sort (fun a b -> compare a.member b.member)
+let total = Causal.total
 
 let render eps =
   let buf = Buffer.create 256 in

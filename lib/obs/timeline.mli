@@ -11,11 +11,12 @@
     - {b first data}: installation → the first data packet arrives over the
       restored branch.
 
-    The recorder is driven by the protocol automata and ignores milestones
-    for members without an open episode (so periodic join refreshes after
-    restoration don't perturb the record). *)
+    This module is a projection of {!Causal} episodes: the live milestone
+    bookkeeping is [Causal.tracker] (driven by the protocol automata), and
+    the episode record below is the same type re-exported under the
+    original phase vocabulary. *)
 
-type episode = {
+type episode = Causal.episode = {
   member : int;
   failure_at : float;
   detected_at : float option;
@@ -32,34 +33,15 @@ val phases : phase list
 
 val phase_name : phase -> string
 
+val to_causal : phase -> Causal.phase
+(** The same interval under {!Causal}'s detect/notify/repair/stabilize
+    naming. *)
+
 val phase_durations : episode -> (phase * float option) list
 (** Consecutive milestone deltas, [None] where a milestone is missing. *)
 
 val total : episode -> float option
 (** Failure → first data, when the episode completed. *)
-
-type recorder
-
-val create : unit -> recorder
-
-val note_failure : recorder -> ts:float -> unit
-
-val note_detected : recorder -> member:int -> ts:float -> unit
-(** Opens the member's episode; later calls for the same member are ignored
-    (first detection wins). No-op before {!note_failure}. *)
-
-val note_signalled : recorder -> member:int -> ts:float -> unit
-
-val note_installed : recorder -> member:int -> ts:float -> unit
-
-val note_first_data : recorder -> member:int -> ts:float -> unit
-(** Closes the episode; every milestone for a closed episode is ignored. *)
-
-val episodes : recorder -> episode list
-(** Sorted by member id. *)
-
-val episode : recorder -> int -> episode option
-(** One member's episode (open or closed), when it exists. *)
 
 val render : episode list -> string
 (** Fixed-width per-member phase table (durations in seconds). *)

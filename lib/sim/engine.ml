@@ -1,4 +1,5 @@
 module Metrics = Smrp_obs.Metrics
+module Flight = Smrp_obs.Flight
 
 (* Engine v2: the facade owns the clock, the pooled event table and all
    instrumentation; the queue behind it is a pure (tick, seq) -> eid
@@ -61,6 +62,7 @@ type t = {
   mutable fp : int;
   obs : Smrp_obs.Obs.t option;
   meters : meters option;
+  flight : Flight.recorder; (* always-on ring; Flight.null to disable *)
 }
 
 let ticks_per_second = 1e7
@@ -72,7 +74,10 @@ let dummy_handler _ _ = ()
 
 let free_chain n off = Array.init n (fun i -> if i = n - 1 then -1 else off + i + 1)
 
-let create ?obs ?(impl = Wheel) () =
+let create ?obs ?flight ?(impl = Wheel) () =
+  let flight =
+    match flight with Some f -> f | None -> Flight.recorder Flight.global
+  in
   let meters =
     Option.map
       (fun o ->
@@ -113,9 +118,11 @@ let create ?obs ?(impl = Wheel) () =
     fp = 0;
     obs;
     meters;
+    flight;
   }
 
 let obs t = t.obs
+let flight t = t.flight
 let now t = t.clock
 let pending t = t.live
 let events_fired t = t.n_fired
@@ -200,6 +207,9 @@ let schedule_event t ~tick ~code ~a ~b =
   let seq = t.seq in
   t.seq <- seq + 1;
   q_add t ~tick ~seq ~eid;
+  (* Flight record at the *target* tick: avoids a float->tick conversion of
+     the current clock on the scheduling hot path. *)
+  Flight.record t.flight ~tick ~code:Flight.ev_schedule ~a:code ~b:eid;
   (match t.meters with
   | Some m ->
       Metrics.Counter.incr m.scheduled;
@@ -241,6 +251,8 @@ let cancel_event t h =
   then begin
     Bytes.unsafe_set t.ev_state eid st_cancelled;
     t.live <- t.live - 1;
+    Flight.record t.flight ~tick:t.ev_tick.(eid) ~code:Flight.ev_cancel ~a:t.ev_code.(eid)
+      ~b:eid;
     match t.meters with
     | Some m ->
         Metrics.Counter.incr m.cancelled_pending;
@@ -325,6 +337,7 @@ let step t =
       t.live <- t.live - 1;
       t.n_fired <- t.n_fired + 1;
       t.fp <- (((t.fp lxor tick) * 1099511628211) + code) land max_int;
+      Flight.record t.flight ~tick ~code:Flight.ev_fire ~a:code ~b:a;
       (match t.meters with
       | Some m ->
           Metrics.Counter.incr m.fired;

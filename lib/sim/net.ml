@@ -1,6 +1,7 @@
 module Graph = Smrp_graph.Graph
 module Metrics = Smrp_obs.Metrics
 module Trace = Smrp_obs.Trace
+module Flight = Smrp_obs.Flight
 
 type meters = {
   m_sent : Metrics.Counter.t;
@@ -29,6 +30,8 @@ type 'msg t = {
   mutable dropped_send_failure : int; (* rejected at send: link/endpoint down *)
   mutable dropped_in_flight : int; (* link/endpoint died during propagation *)
   msg_label : ('msg -> string) option;
+  msg_int : 'msg -> int; (* packed wire form for flight records; 0 if opaque *)
+  flight : Flight.recorder; (* the engine's ring *)
   trace : Trace.t;
   meters : meters option;
   (* frame pool (free list threaded through fr_next) *)
@@ -69,6 +72,13 @@ let meter_drop t =
    to reclaim whatever the message indexes. *)
 let[@inline] drop t msg = match t.on_drop with Some f -> f msg | None -> ()
 
+(* Flight record for a wire event: a = the packed message, b = src/dst. *)
+let[@inline] flight_record t ~code ~src ~dst msg =
+  Flight.record t.flight
+    ~tick:(Engine.tick_of_time (Engine.now t.engine))
+    ~code ~a:(t.msg_int msg)
+    ~b:((src lsl 31) lor dst)
+
 let grow_frames t =
   let cap = Array.length t.fr_src in
   let ext a = Array.append a (Array.make cap 0) in
@@ -101,6 +111,7 @@ let deliver t slot =
   (* The wire may have gone down while the frame was in flight. *)
   if (not t.link_down.(eid)) && (not t.node_down.(src)) && not t.node_down.(dst) then begin
     t.frames_delivered <- t.frames_delivered + 1;
+    flight_record t ~code:Flight.net_deliver ~src ~dst msg;
     meter t (fun m -> m.m_delivered);
     if Trace.enabled t.trace then
       Trace.complete t.trace ~ts:sent_at
@@ -112,6 +123,7 @@ let deliver t slot =
   end
   else begin
     t.dropped_in_flight <- t.dropped_in_flight + 1;
+    flight_record t ~code:Flight.net_drop_flight ~src ~dst msg;
     meter t (fun m -> m.m_dropped_flight);
     meter_drop t;
     if Trace.enabled t.trace then
@@ -121,7 +133,7 @@ let deliver t slot =
     drop t msg
   end
 
-let create ?obs ?msg_label ?on_drop engine graph ~handler =
+let create ?obs ?msg_label ?msg_int ?on_drop engine graph ~handler =
   let obs = match obs with Some _ as o -> o | None -> Engine.obs engine in
   let meters =
     Option.map
@@ -152,6 +164,8 @@ let create ?obs ?msg_label ?on_drop engine graph ~handler =
       dropped_send_failure = 0;
       dropped_in_flight = 0;
       msg_label;
+      msg_int = (match msg_int with Some f -> f | None -> fun _ -> 0);
+      flight = Engine.flight engine;
       trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
       meters;
       fr_src = Array.make frame_cap0 0;
@@ -174,6 +188,7 @@ let send t ~src ~dst msg =
       let eid = e.Graph.id in
       if t.link_down.(eid) || t.node_down.(src) || t.node_down.(dst) then begin
         t.dropped_send_failure <- t.dropped_send_failure + 1;
+        flight_record t ~code:Flight.net_drop_send ~src ~dst msg;
         meter t (fun m -> m.m_dropped_send);
         meter_drop t;
         if Trace.enabled t.trace then
@@ -185,11 +200,13 @@ let send t ~src ~dst msg =
       end
       else begin
         t.frames_sent <- t.frames_sent + 1;
+        flight_record t ~code:Flight.net_send ~src ~dst msg;
         meter t (fun m -> m.m_sent);
         let lost =
           match t.loss with
           | Some (rng, rate) when Smrp_rng.Rng.float rng 1.0 < rate ->
               t.frames_lost <- t.frames_lost + 1;
+              flight_record t ~code:Flight.net_drop_loss ~src ~dst msg;
               meter t (fun m -> m.m_lost);
               meter_drop t;
               if Trace.enabled t.trace then

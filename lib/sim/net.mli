@@ -10,6 +10,7 @@ type 'msg t
 val create :
   ?obs:Smrp_obs.Obs.t ->
   ?msg_label:('msg -> string) ->
+  ?msg_int:('msg -> int) ->
   ?on_drop:('msg -> unit) ->
   Engine.t ->
   Smrp_graph.Graph.t ->
@@ -18,6 +19,11 @@ val create :
 (** [handler] is invoked at delivery time on the receiving node; [eid] is
     the id of the edge the frame arrived on (useful for flat per-link
     state without an edge lookup).
+
+    [msg_int] gives the packed wire form of a message for flight-recorder
+    records (sends, deliveries and every drop cause are recorded into the
+    engine's ring with operands [(msg_int msg, (src lsl 31) lor dst)]);
+    opaque messages record 0.
 
     [on_drop] is called with the message of every frame that will never be
     delivered — rejected at send time, Bernoulli-lost, or killed in flight

@@ -8,6 +8,8 @@ module Reshape = Smrp_core.Reshape
 module Metrics = Smrp_obs.Metrics
 module Trace = Smrp_obs.Trace
 module Timeline = Smrp_obs.Timeline
+module Causal = Smrp_obs.Causal
+module Flight = Smrp_obs.Flight
 
 type recovery_strategy = Local | Global
 
@@ -124,8 +126,8 @@ type t = {
   n_last_forwarded : int array;
   n_data_received : int array;
   n_recovering : bool array;
-  n_disrupted_at : float array; (* nan = never *)
-  n_restored_at : float array; (* nan = never *)
+  (* disruption/restoration timestamps live in [causal]: the milestone
+     tracker is the single source of truth for episode bookkeeping *)
   n_last_attempt : float array;
   n_responses : (int * float * int list) list array;
       (* (SHR, merge tree delay, path requester..merge) collected while a
@@ -160,7 +162,8 @@ type t = {
   mutable r_back : int array;
   mutable r_next : int array;
   mutable r_free : int;
-  timeline : Timeline.recorder;
+  causal : Causal.tracker;
+  flight : Flight.recorder; (* the engine's ring; milestone records *)
   trace : Trace.t;
   meters : meters option;
 }
@@ -367,15 +370,16 @@ let handle_data t ~at ~from seq =
   t.n_last_data.(at) <- now;
   if t.n_member.(at) then begin
     t.n_data_received.(at) <- t.n_data_received.(at) + 1;
-    if (not (Float.is_nan t.n_disrupted_at.(at))) && Float.is_nan t.n_restored_at.(at) then begin
-      t.n_restored_at.(at) <- now;
+    if Causal.disrupted t.causal at then begin
       t.n_recovering.(at) <- false;
       t.disrupted_now <- t.disrupted_now - 1;
-      Timeline.note_first_data t.timeline ~member:at ~ts:now;
+      Flight.record t.flight ~tick:(Engine.tick_of_time now) ~code:Flight.proto_first_data
+        ~a:at ~b:0;
+      Causal.note_first_data t.causal ~member:at ~ts:now;
       (match t.meters with
       | Some m -> Smrp_obs.Series.observe m.s_disrupted ~ts:now (float_of_int t.disrupted_now)
       | None -> ());
-      (match (t.meters, Timeline.episode t.timeline at) with
+      (match (t.meters, Causal.episode t.causal at) with
       | Some m, Some ep ->
           List.iter
             (fun (phase, dur) ->
@@ -417,7 +421,9 @@ let handle_join t ~at ~from slot =
        installed along the whole attach path. *)
     let requester = t.j_req.(slot) in
     free_join t slot;
-    Timeline.note_installed t.timeline ~member:requester ~ts:now;
+    Flight.record t.flight ~tick:(Engine.tick_of_time now) ~code:Flight.proto_installed
+      ~a:requester ~b:at;
+    Causal.note_installed t.causal ~member:requester ~ts:now;
     if Trace.enabled t.trace then
       Trace.instant t.trace ~ts:now ~cat:"proto" ~tid:requester
         ~args:[ ("merge", Trace.Int at) ]
@@ -571,8 +577,6 @@ let create ?(config = default_config) ?obs engine graph ~source =
       n_last_forwarded = Array.make n (-1);
       n_data_received = Array.make n 0;
       n_recovering = Array.make n false;
-      n_disrupted_at = Array.make n nan;
-      n_restored_at = Array.make n nan;
       n_last_attempt = Array.make n neg_infinity;
       n_responses = Array.make n [];
       ch_id = Array.make n [||];
@@ -599,13 +603,14 @@ let create ?(config = default_config) ?obs engine graph ~source =
       r_back = Array.make pool0 0;
       r_next = free_chain pool0 0;
       r_free = 0;
-      timeline = Timeline.create ();
+      causal = Causal.create ();
+      flight = Engine.flight engine;
       trace = (match obs with Some o -> Smrp_obs.Obs.trace o | None -> Trace.null);
       meters;
     }
   in
   let net =
-    Net.create ?obs ~msg_label ~on_drop:(reclaim t) engine graph
+    Net.create ?obs ~msg_label ~msg_int:(fun m -> m) ~on_drop:(reclaim t) engine graph
       ~handler:(fun _ ~at ~from ~eid m -> handle t ~at ~from ~eid m)
   in
   t.net <- Some net;
@@ -638,14 +643,20 @@ let signal_join t ~requester ~attach_nodes =
   | [] | [ _ ] ->
       (* Already attached: nothing to signal, the "installation" is
          instantaneous for the recovery timeline. *)
-      Timeline.note_signalled t.timeline ~member:requester ~ts:now;
-      Timeline.note_installed t.timeline ~member:requester ~ts:now
+      Flight.record t.flight ~tick:(Engine.tick_of_time now) ~code:Flight.proto_signal
+        ~a:requester ~b:0;
+      Causal.note_signalled t.causal ~member:requester ~ts:now;
+      Flight.record t.flight ~tick:(Engine.tick_of_time now) ~code:Flight.proto_installed
+        ~a:requester ~b:requester;
+      Causal.note_installed t.causal ~member:requester ~ts:now
   | me :: next :: rest ->
       assert (me = requester);
       if t.n_parent.(requester) < 0 && requester <> t.source then
         t.n_parent.(requester) <- next;
       set_attach t requester (next :: rest);
-      Timeline.note_signalled t.timeline ~member:requester ~ts:now;
+      Flight.record t.flight ~tick:(Engine.tick_of_time now) ~code:Flight.proto_signal
+        ~a:requester ~b:(List.length rest + 1);
+      Causal.note_signalled t.causal ~member:requester ~ts:now;
       if Trace.enabled t.trace then
         Trace.instant t.trace ~ts:now ~cat:"proto" ~tid:requester
           ~args:[ ("hops", Trace.Int (List.length rest + 1)) ]
@@ -778,6 +789,9 @@ let reshape_node t r =
   then begin
     let old_parent = t.n_parent.(r) in
     if Reshape.try_reshape ~d_thresh:t.config.d_thresh t.tree r then begin
+      Flight.record t.flight
+        ~tick:(Engine.tick_of_time (Engine.now t.engine))
+        ~code:Flight.proto_reshape ~a:r ~b:old_parent;
       if Trace.enabled t.trace then
         Trace.instant t.trace ~ts:(Engine.now t.engine) ~cat:"proto" ~tid:r "reshape.switch";
       match Tree.path_to_source t.tree r with
@@ -832,15 +846,16 @@ let declare_disrupted t m =
     let now = Engine.now t.engine in
     t.n_recovering.(m) <- true;
     t.n_last_attempt.(m) <- now;
-    let first = Float.is_nan t.n_disrupted_at.(m) in
+    let first = Causal.detected_at t.causal m = None in
     if first then begin
-      t.n_disrupted_at.(m) <- now;
       t.disrupted_now <- t.disrupted_now + 1;
       match t.meters with
       | Some mt -> Smrp_obs.Series.observe mt.s_disrupted ~ts:now (float_of_int t.disrupted_now)
       | None -> ()
     end;
-    Timeline.note_detected t.timeline ~member:m ~ts:now;
+    Flight.record t.flight ~tick:(Engine.tick_of_time now) ~code:Flight.proto_detected ~a:m
+      ~b:0;
+    Causal.note_detected t.causal ~member:m ~ts:now;
     if Trace.enabled t.trace then
       if first then begin
         Trace.begin_span t.trace ~ts:now ~cat:"recovery" ~tid:m
@@ -924,7 +939,7 @@ let start t =
            if t.n_member.(v) && t.failure <> None && now -. t.n_last_data.(v) > starve then begin
              if not t.n_recovering.(v) then declare_disrupted t v
              else if
-               Float.is_nan t.n_restored_at.(v) && now -. t.n_last_attempt.(v) > retry_after
+               Causal.restored_at t.causal v = None && now -. t.n_last_attempt.(v) > retry_after
              then begin
                t.n_recovering.(v) <- false;
                declare_disrupted t v
@@ -953,7 +968,9 @@ let inject_link_failure t eid =
   Net.fail_link (net t) eid;
   t.failure <- Some (Failure.Link eid);
   t.failure_time <- Engine.now t.engine;
-  Timeline.note_failure t.timeline ~ts:t.failure_time;
+  Flight.record t.flight ~tick:(Engine.tick_of_time t.failure_time) ~code:Flight.proto_failure
+    ~a:eid ~b:0;
+  Causal.note_failure t.causal ~ts:t.failure_time;
   if Trace.enabled t.trace then
     Trace.instant t.trace ~ts:t.failure_time ~cat:"recovery"
       ~args:[ ("link", Trace.Int eid) ]
@@ -965,16 +982,12 @@ let inject_link_failure t eid =
 let reports t =
   let acc = ref [] in
   for v = Array.length t.n_member - 1 downto 0 do
-    if t.n_member.(v) || not (Float.is_nan t.n_disrupted_at.(v)) then
+    if t.n_member.(v) || Causal.detected_at t.causal v <> None then
       acc :=
         {
           member = v;
-          detected =
-            (if Float.is_nan t.n_disrupted_at.(v) then None
-             else Some (t.n_disrupted_at.(v) -. t.failure_time));
-          restored =
-            (if Float.is_nan t.n_restored_at.(v) then None
-             else Some (t.n_restored_at.(v) -. t.failure_time));
+          detected = Option.map (fun ts -> ts -. t.failure_time) (Causal.detected_at t.causal v);
+          restored = Option.map (fun ts -> ts -. t.failure_time) (Causal.restored_at t.causal v);
           data_received = t.n_data_received.(v);
         }
         :: !acc
@@ -995,6 +1008,6 @@ let message_breakdown t =
     ("data", t.data_sent);
   ]
 
-let timeline t = Timeline.episodes t.timeline
+let timeline t = Causal.episodes t.causal
 
-let phase_table t = Timeline.render (Timeline.episodes t.timeline)
+let phase_table t = Timeline.render (Causal.episodes t.causal)

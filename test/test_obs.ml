@@ -4,6 +4,7 @@
 module Metrics = Smrp_obs.Metrics
 module Trace = Smrp_obs.Trace
 module Timeline = Smrp_obs.Timeline
+module Causal = Smrp_obs.Causal
 module Obs = Smrp_obs.Obs
 module Engine = Smrp_sim.Engine
 module Net = Smrp_sim.Net
@@ -573,19 +574,21 @@ let sinks_deterministic_across_runs () =
 (* -- Timeline ----------------------------------------------------------- *)
 
 let timeline_recorder_guards () =
-  let r = Timeline.create () in
+  (* The milestone tracker now lives in Causal; Timeline is a projection of
+     its episodes, so the guard semantics are pinned through both modules. *)
+  let r = Causal.create () in
   (* Milestones before the failure are ignored. *)
-  Timeline.note_detected r ~member:1 ~ts:0.5;
-  check "no episode before failure" true (Timeline.episodes r = []);
-  Timeline.note_failure r ~ts:1.0;
-  Timeline.note_detected r ~member:1 ~ts:1.5;
-  Timeline.note_detected r ~member:1 ~ts:9.9 (* first detection wins *);
-  Timeline.note_signalled r ~member:1 ~ts:1.6;
-  Timeline.note_installed r ~member:1 ~ts:1.8;
-  Timeline.note_installed r ~member:1 ~ts:1.9 (* refresh re-confirmation: ignored *);
-  Timeline.note_first_data r ~member:1 ~ts:2.0;
-  Timeline.note_signalled r ~member:1 ~ts:5.0 (* closed: ignored *);
-  match Timeline.episodes r with
+  Causal.note_detected r ~member:1 ~ts:0.5;
+  check "no episode before failure" true (Causal.episodes r = []);
+  Causal.note_failure r ~ts:1.0;
+  Causal.note_detected r ~member:1 ~ts:1.5;
+  Causal.note_detected r ~member:1 ~ts:9.9 (* first detection wins *);
+  Causal.note_signalled r ~member:1 ~ts:1.6;
+  Causal.note_installed r ~member:1 ~ts:1.8;
+  Causal.note_installed r ~member:1 ~ts:1.9 (* refresh re-confirmation: ignored *);
+  Causal.note_first_data r ~member:1 ~ts:2.0;
+  Causal.note_signalled r ~member:1 ~ts:5.0 (* closed: ignored *);
+  match Causal.episodes r with
   | [ e ] ->
       check_int "member" 1 e.Timeline.member;
       check_int "attempts" 1 e.Timeline.attempts;
