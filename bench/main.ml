@@ -422,7 +422,30 @@ let micro () =
     ignore (Scale.waxman rng ~n:100_000 ~alpha ~beta);
     (Unix.gettimeofday () -. t0) *. 1e9
   in
-  let micro_rows = List.sort compare (("waxman_100k", waxman_100k_ns) :: micro_rows) in
+  (* Campaign wall clock: a fixed mini 2x2x2x2 matrix (smaller than the CLI's
+     --quick preset so the gate stays cheap), hand-timed like waxman_100k and
+     gated with the same widened relative tolerance. *)
+  let campaign_quick_ns =
+    let module Campaign = Smrp_experiments.Campaign in
+    let spec =
+      match
+        Campaign.spec_of_matrix ~base:Campaign.quick
+          "topo=waxman:60,ts; churn=flash,heavy; fail=indep,adversarial; proto=spf,smrp:0.3; \
+           instances=1; seed=4244"
+      with
+      | Ok spec -> spec
+      | Error msg -> failwith ("campaign_quick bench spec: " ^ msg)
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (Campaign.run ~jobs:1 spec : Smrp_obs.Report.t);
+    (Unix.gettimeofday () -. t0) *. 1e9
+  in
+  let micro_rows =
+    List.sort compare
+      (("waxman_100k", waxman_100k_ns)
+      :: ("campaign_quick", campaign_quick_ns)
+      :: micro_rows)
+  in
   List.iter
     (fun (name, ns) -> Printf.printf "%-28s %12.1f ns/run  (%8.3f ms)\n" name ns (ns /. 1e6))
     micro_rows;

@@ -360,6 +360,108 @@ let report_cmd =
           HTML dashboard.")
     Term.(const run $ seed_arg 42 $ scenarios $ quick $ jobs $ html $ json)
 
+let campaign_cmd =
+  let module Report = Smrp_obs.Report in
+  let module Campaign = Smrp_experiments.Campaign in
+  let run seed matrix quick jobs json html summary_only =
+    with_crash_dump "smrp-crash.flight" @@ fun () ->
+    let base = if quick then Campaign.quick else Campaign.default in
+    let spec =
+      match matrix with
+      | None -> base
+      | Some m -> (
+          match Campaign.spec_of_matrix ~base m with
+          | Ok spec -> spec
+          | Error msg ->
+              Printf.eprintf "campaign: bad --matrix: %s\n" msg;
+              exit 2)
+    in
+    let spec = match seed with None -> spec | Some seed -> { spec with Campaign.seed } in
+    let report = Campaign.run ?jobs spec in
+    if not summary_only then print_string (Report.render_ascii report);
+    print_newline ();
+    print_string (Campaign.render_summary report);
+    Printf.printf "\ndigest %s\n" (Campaign.digest report);
+    let write file contents =
+      let oc =
+        try open_out file
+        with Sys_error msg ->
+          Printf.eprintf "campaign: cannot open %s: %s\n%!" file msg;
+          exit 1
+      in
+      output_string oc contents;
+      close_out oc
+    in
+    Option.iter
+      (fun file ->
+        write file (Report.to_string report);
+        Printf.printf "campaign JSON written to %s\n" file)
+      json;
+    Option.iter
+      (fun file ->
+        write file (Report.render_html report);
+        Printf.printf "HTML dashboard written to %s\n" file)
+      html
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed (default: the preset's).")
+  in
+  let matrix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix" ] ~docv:"SPEC"
+          ~doc:
+            "Matrix description, overriding the preset axis-wise: \
+             $(b,axis=value,value;...) with axes $(b,topo) (waxman[:N], ts, locality[:N], \
+             scale:N), $(b,churn) (static[:K], flash, diurnal, heavy), $(b,fail) (indep[:K], \
+             correlated, regional, cascade, adversarial[:B]), $(b,proto) (spf, smrp[:D], \
+             protected[:D], query[:D]), plus $(b,instances=N), $(b,horizon=T), $(b,seed=S) and \
+             $(b,figs=7,8,9,10) for paper-figure cells.")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"The pinned CI matrix (3x3x2x3, 2 instances per cell).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: SMRP_BENCH_JOBS or the recommended domain count). The \
+             report is byte-identical whatever the count.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the structured report as JSON.")
+  in
+  let html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE" ~doc:"Write the self-contained HTML comparison dashboard.")
+  in
+  let summary_only =
+    Arg.(
+      value & flag
+      & info [ "summary" ] ~doc:"Print only the per-cell summary table, not the full report.")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run a declarative scenario matrix — topology family x churn model x failure model x \
+          protocol variant — every cell independently seeded, fanned out across domains, and \
+          collected into one comparison report. Paper figures 7-10 are expressible as matrix \
+          cells via figs=.")
+    Term.(const run $ seed $ matrix $ quick $ jobs $ json $ html $ summary_only)
+
 let fuzz_cmd =
   let module Fuzz = Smrp_check.Fuzz in
   let module Case = Smrp_check.Case in
@@ -685,6 +787,7 @@ let () =
             fig10_cmd;
             all_cmd;
             scenario_cmd;
+            campaign_cmd;
             fuzz_cmd;
             inspect_cmd;
             latency_cmd;

@@ -40,7 +40,9 @@ let topology params rng =
 (* The schedule model tracks intended membership and failed elements so the
    draw is mostly applicable; the executor's skip logic covers the rest
    (e.g. joins that active failures have disconnected). *)
-let schedule params rng ~n ~edge_count ~source =
+let schedule params rng g ~source =
+  let n = Graph.node_count g in
+  let edge_count = Graph.edge_count g in
   let members = Hashtbl.create 16 in
   let failed_links = Hashtbl.create 8 in
   let failed_nodes = Hashtbl.create 8 in
@@ -90,6 +92,66 @@ let schedule params rng ~n ~edge_count ~source =
         Some (Case.Join v)
     | None -> None
   in
+  (* Regional outage: a hop-1 ball around a random centre, capped so the
+     case stays mostly repairable.  Everything in the ball goes down at
+     once — the executor's Lost path and the repair search both get
+     exercised against a spatially clustered hole. *)
+  let regional_ball () =
+    let center = Rng.int rng n in
+    if center = source || Hashtbl.mem failed_nodes center then None
+    else begin
+      let ball = ref [ center ] in
+      Graph.iter_neighbors g center (fun v _ _ ->
+          if
+            v <> source
+            && (not (Hashtbl.mem failed_nodes v))
+            && not (List.mem v !ball)
+          then ball := v :: !ball);
+      let ball = List.filteri (fun i _ -> i < 4) (List.rev !ball) in
+      List.iter
+        (fun v ->
+          Hashtbl.replace failed_nodes v ();
+          Hashtbl.remove members v)
+        ball;
+      Some (Case.Fail { links = []; nodes = ball })
+    end
+  in
+  (* Cascading-style chain: a seed link plus adjacent links, as when a
+     failure's re-routed traffic overloads the next link along.  The walk
+     is deterministic in CSR order; the RNG picks the seed and length. *)
+  let chain () =
+    if edge_count = 0 then None
+    else begin
+      let e0 = Rng.int rng edge_count in
+      if Hashtbl.mem failed_links e0 then None
+      else begin
+        let chain = ref [ e0 ] in
+        let cur = ref e0 in
+        let len = 2 + Rng.int rng 2 in
+        (try
+           for _ = 2 to len do
+             let e = Graph.edge g !cur in
+             let next = ref (-1) in
+             let probe u =
+               Graph.iter_neighbors g u (fun _ eid _ ->
+                   if
+                     !next < 0 && eid <> !cur
+                     && (not (List.mem eid !chain))
+                     && not (Hashtbl.mem failed_links eid)
+                   then next := eid)
+             in
+             probe e.Graph.u;
+             probe e.Graph.v;
+             if !next < 0 then raise Exit;
+             chain := !next :: !chain;
+             cur := !next
+           done
+         with Exit -> ());
+        List.iter (fun e -> Hashtbl.replace failed_links e ()) !chain;
+        Some (Case.Fail { links = List.rev !chain; nodes = [] })
+      end
+    end
+  in
   let event i =
     (* Open every schedule with churn so failures have a tree to break. *)
     let roll = if i < 2 then 0 else Rng.int rng 100 in
@@ -100,17 +162,23 @@ let schedule params rng ~n ~edge_count ~source =
           Hashtbl.remove members m;
           Some (Case.Leave m)
       | None -> join ()
-    else if roll < 78 then
+    else if roll < 74 then
       match fail_element () with
       | Some (links, nodes) -> Some (Case.Fail { links; nodes })
       | None -> join ()
-    else if roll < 85 then begin
+    else if roll < 80 then begin
       (* Correlated double failure. *)
       match (fail_element (), fail_element ()) with
       | Some (l1, n1), Some (l2, n2) -> Some (Case.Fail { links = l1 @ l2; nodes = n1 @ n2 })
       | Some (links, nodes), None | None, Some (links, nodes) ->
           Some (Case.Fail { links; nodes })
       | None, None -> join ()
+    end
+    else if roll < 85 then begin
+      match regional_ball () with Some ev -> Some ev | None -> join ()
+    end
+    else if roll < 90 then begin
+      match chain () with Some ev -> Some ev | None -> join ()
     end
     else Some Case.Reshape
   in
@@ -128,5 +196,5 @@ let case ?(params = default) rng =
     | _ -> Case.Smrp
   in
   let d_thresh = Rng.pick rng [| 0.0; 0.1; 0.3; 0.3; 0.5 |] in
-  let events = schedule params rng ~n ~edge_count:(List.length edges) ~source in
+  let events = schedule params rng g ~source in
   { Case.n; edges; source; protocol; d_thresh; events }

@@ -2,8 +2,11 @@
 
     Topologies mix the paper's two families — flat Waxman graphs and small
     GT-ITM-style transit–stub hierarchies — and event schedules mix join and
-    leave churn, single and correlated link/node failures, and Condition-II
-    reshape timer fires.  The schedule is drawn against a lightweight
+    leave churn, single and correlated link/node failures, regional outages
+    (a hop-radius node ball), cascading-style chains of adjacent links, and
+    Condition-II reshape timer fires.  All failure shapes reduce to the one
+    [Fail {links; nodes}] case event, so the repro JSON format is
+    unchanged.  The schedule is drawn against a lightweight
     membership model so most events are applicable; the executor skips the
     rest.  Everything is a pure function of the supplied {!Smrp_rng.Rng.t},
     so one root seed reproduces a whole campaign. *)

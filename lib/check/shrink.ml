@@ -31,6 +31,47 @@ let shrink_events ~fails case =
   let len = List.length case.Case.events in
   if len = 0 then case else pass case (max 1 (len / 2))
 
+(* Halve large failure groups (regional balls, correlated bursts, cascade
+   chains) before trying singles: a k-element Fail shrinks through its
+   halves in O(log k) predicate calls where the singles pass would need
+   k calls per level — and the halves preserve adjacency structure the
+   singles destroy. *)
+let shrink_fail_halves ~fails case =
+  let try_replace case i ev =
+    let events = List.mapi (fun j e -> if j = i then ev else e) case.Case.events in
+    let candidate = { case with Case.events } in
+    if fails candidate then Some candidate else None
+  in
+  let rebuild elements =
+    let links = List.filter_map (function `Link l -> Some l | `Node _ -> None) elements in
+    let nodes = List.filter_map (function `Node v -> Some v | `Link _ -> None) elements in
+    Case.Fail { links; nodes }
+  in
+  let rec go case i =
+    if i >= List.length case.Case.events then case
+    else begin
+      match List.nth case.Case.events i with
+      | Case.Fail { links; nodes } when List.length links + List.length nodes > 2 ->
+          let elements =
+            List.map (fun l -> `Link l) links @ List.map (fun v -> `Node v) nodes
+          in
+          let k = List.length elements in
+          let halves = [ take (k / 2) elements; drop (k / 2) elements ] in
+          let rec first = function
+            | [] -> go case (i + 1)
+            | es :: rest -> (
+                match try_replace case i (rebuild es) with
+                (* Same index again: keep halving until the group is small
+                   or no half reproduces. *)
+                | Some candidate -> go candidate i
+                | None -> first rest)
+          in
+          first halves
+      | _ -> go case (i + 1)
+    end
+  in
+  go case 0
+
 (* Split correlated failures: try each single element of a multi-element
    Fail event. *)
 let shrink_fail_elements ~fails case =
@@ -155,8 +196,8 @@ let shrink ~fails case =
       if iterations = 0 then case
       else begin
         let case' =
-          case |> shrink_events ~fails |> shrink_fail_elements ~fails |> shrink_edges ~fails
-          |> compact_nodes ~fails
+          case |> shrink_events ~fails |> shrink_fail_halves ~fails
+          |> shrink_fail_elements ~fails |> shrink_edges ~fails |> compact_nodes ~fails
         in
         if size case' = size case then case' else fixpoint case' (iterations - 1)
       end

@@ -5,7 +5,9 @@
     candidate that still fails:
 
     - {b events}: chunked-then-single greedy deletion (delta-debugging
-      style), plus splitting correlated failure events into single elements;
+      style), plus binary halving of large failure groups (regional balls,
+      correlated bursts, cascade chains) and then splitting what remains
+      into single elements;
     - {b edges}: deleting one graph edge at a time, remapping the edge ids
       failure events refer to;
     - {b nodes}: compacting away isolated nodes nothing references,

@@ -174,7 +174,32 @@ let run ?metrics config =
   Option.iter (fun m -> record m t) metrics;
   t
 
-let run_many ?jobs ?metrics configs = Pool.map ?jobs (run ?metrics) configs
+(* Deduplicate before the fan-out: sweeps routinely repeat a config (a
+   collapsed axis), and [run] is deterministic in it, so each distinct config
+   is evaluated once and shared.  Metrics are recorded per {e occurrence} on
+   the orchestrating domain after the join — same totals as recording inside
+   every worker, byte-identical whatever [jobs]. *)
+let run_many ?jobs ?metrics configs =
+  let seen = Hashtbl.create 16 in
+  let unique =
+    List.filter
+      (fun c ->
+        if Hashtbl.mem seen c then false
+        else begin
+          Hashtbl.replace seen c ();
+          true
+        end)
+      configs
+  in
+  let results = Pool.map ?jobs run unique in
+  let tbl = Hashtbl.create (List.length unique) in
+  List.iter2 (Hashtbl.replace tbl) unique results;
+  List.map
+    (fun c ->
+      let t = Hashtbl.find tbl c in
+      Option.iter (fun m -> record m t) metrics;
+      t)
+    configs
 
 type aggregates = {
   rd_relative : float;

@@ -67,8 +67,11 @@ val record : Smrp_obs.Metrics.t -> t -> unit
 val run_many : ?jobs:int -> ?metrics:Smrp_obs.Metrics.t -> config list -> t list
 (** [run_many configs] is [List.map run configs] fanned out over
     {!Pool.map}; byte-identical to the sequential map whatever [jobs].
-    [metrics] reaches every run — each worker domain records into its own
-    shard of the registry. *)
+    Duplicate configs (a collapsed sweep axis) are evaluated once and the
+    result shared — [run] is deterministic in its config, so the output
+    list is unchanged.  [metrics] is recorded once per {e occurrence}
+    (not per unique config), on the orchestrating domain after the
+    fan-out joins: the same totals as recording inside every run. *)
 
 val evaluate :
   ?ws:Smrp_graph.Dijkstra.workspace ->
